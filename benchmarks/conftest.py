@@ -1,0 +1,23 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one paper table/figure and prints the same
+rows/series the paper reports (the reproduction contract is the *shape*,
+not absolute numbers — see DESIGN.md §4 and EXPERIMENTS.md).
+
+``run_once`` wraps an experiment function in pytest-benchmark's pedantic
+mode with a single round: these are system-level experiments, not
+micro-benchmarks, and one execution per figure keeps the suite's runtime
+sane while still reporting wall time per figure.
+"""
+
+import sys
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def emit(text: str) -> None:
+    """Print a result block so it survives pytest's capture with -s."""
+    sys.stdout.write("\n" + text + "\n")

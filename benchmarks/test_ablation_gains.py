@@ -1,0 +1,63 @@
+"""Ablation — gain-sequence choices (§5.6).
+
+Sweeps (a, c) around the paper's recommendation (a = half the scaled
+range = 10, c ≈ measurement std = 2, A = 1) plus the automatic
+:func:`repro.core.tuning.suggest_gains` derivation, and reports final
+delay and stability.  Shape: the paper settings and the suggested gains
+both land stable with competitive delay; a far-too-small step (a = 1)
+under-explores and keeps the interval near its mid-range start.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.gains import GainSchedule
+from repro.core.tuning import suggest_gains
+from repro.experiments.common import build_experiment, make_controller
+
+from .conftest import emit, run_once
+
+WORKLOAD = "linear_regression"
+
+
+def run_gain_variants(seed=23, rounds=30):
+    setup0 = build_experiment(WORKLOAD, seed=seed)
+    variants = {
+        "paper (a=10, c=2, A=1)": GainSchedule(a=10.0, c=2.0, A=1.0),
+        "small step (a=1)": GainSchedule(a=1.0, c=2.0, A=1.0),
+        "large step (a=30)": GainSchedule(a=30.0, c=2.0, A=1.0),
+        "small probe (c=0.5)": GainSchedule(a=10.0, c=0.5, A=1.0),
+        "suggested (5.6 rules)": suggest_gains(
+            setup0.scaler.scaled, expected_iterations=rounds, y_std=2.0
+        ),
+    }
+    results = {}
+    for name, gains in variants.items():
+        setup = build_experiment(WORKLOAD, seed=seed)
+        controller = make_controller(setup, seed=seed, gains=gains)
+        controller.run(rounds)
+        results[name] = controller.pause_rule.best_config()
+    return results
+
+
+def test_ablation_gains(benchmark):
+    results = run_once(benchmark, run_gain_variants)
+    emit(
+        format_table(
+            ["gains", "interval (s)", "proc (s)", "delay (s)", "stable"],
+            [
+                (name, b.batch_interval, b.mean_processing_time,
+                 b.end_to_end_delay, b.stable)
+                for name, b in results.items()
+            ],
+            title=f"Ablation: gain sequences ({WORKLOAD})",
+        )
+    )
+    paper = results["paper (a=10, c=2, A=1)"]
+    suggested = results["suggested (5.6 rules)"]
+    assert paper.stable
+    assert suggested.stable
+    # The automatic derivation matches the hand-picked paper gains.
+    assert suggested.end_to_end_delay <= 1.5 * paper.end_to_end_delay
+    # A tiny step size cannot walk the interval down from the 20.5 s
+    # start within the round budget.
+    small = results["small step (a=1)"]
+    assert small.end_to_end_delay >= paper.end_to_end_delay

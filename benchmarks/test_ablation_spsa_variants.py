@@ -1,0 +1,94 @@
+"""Ablation — SPSA measurement strategies on the live system.
+
+The paper's §4.2.1 argues two measurements per iteration is SPSA's key
+economy.  This bench compares, at equal *measurement* budget:
+
+* standard two-measurement SPSA (the paper),
+* one-measurement SPSA (half the configuration changes per iteration,
+  noisier gradients),
+* gradient-averaged SPSA (m=2; lower-variance steps, half the
+  iterations).
+
+All three minimize the same live objective through the same Adjust
+pathway.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.adjust import AdjustFunction, evaluate_config
+from repro.core.gains import paper_gains
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.pause import PauseRule
+from repro.core.spsa import SPSAOptimizer
+from repro.core.spsa_variants import AveragedSPSA, OneMeasurementSPSA
+from repro.experiments.common import build_experiment
+
+from .conftest import emit, run_once
+
+WORKLOAD = "page_analyze"
+MEASUREMENT_BUDGET = 48
+
+
+def run_variant(optimizer_cls, seed=37, **opt_kwargs):
+    setup = build_experiment(WORKLOAD, seed=seed)
+    rule = PauseRule()
+    adjust = AdjustFunction(setup.system, setup.scaler, MetricsCollector())
+    opt = optimizer_cls(
+        gains=paper_gains(),
+        box=setup.scaler.scaled,
+        theta_initial=setup.scaler.scaled.center(),
+        seed=seed,
+        **opt_kwargs,
+    )
+
+    counter = {"i": 0}
+
+    def measure(theta):
+        counter["i"] += 1
+        result = adjust(theta, 2.0)
+        rule.record(evaluate_config(result, theta, opt.k + 1))
+        return result.objective
+
+    while opt.total_measurements < MEASUREMENT_BUDGET:
+        opt.step(measure)
+    best = rule.best_config()
+    return {
+        "best": best,
+        "iterations": opt.k,
+        "measurements": opt.total_measurements,
+        "config_changes": setup.system.config_changes,
+    }
+
+
+def run_all():
+    return {
+        "two-measurement (paper)": run_variant(SPSAOptimizer),
+        "one-measurement": run_variant(OneMeasurementSPSA),
+        "averaged (m=2)": run_variant(AveragedSPSA, num_estimates=2),
+    }
+
+
+def test_ablation_spsa_variants(benchmark):
+    results = run_once(benchmark, run_all)
+    emit(
+        format_table(
+            ["variant", "iterations", "measurements", "delay (s)", "stable"],
+            [
+                (name, r["iterations"], r["measurements"],
+                 r["best"].end_to_end_delay, r["best"].stable)
+                for name, r in results.items()
+            ],
+            title=f"Ablation: SPSA measurement strategy ({WORKLOAD}, "
+                  f"budget {MEASUREMENT_BUDGET} measurements)",
+        )
+    )
+    paper = results["two-measurement (paper)"]
+    one = results["one-measurement"]
+    avg = results["averaged (m=2)"]
+    # Budget accounting: 1-measurement gets 2x the iterations, averaged
+    # m=2 gets half.
+    assert one["iterations"] == 2 * paper["iterations"]
+    assert avg["iterations"] == paper["iterations"] // 2
+    # The paper's standard form must land stable with competitive delay.
+    assert paper["best"].stable
+    delays = [r["best"].end_to_end_delay for r in results.values()]
+    assert paper["best"].end_to_end_delay <= 1.5 * min(delays)

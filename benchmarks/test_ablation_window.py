@@ -1,0 +1,61 @@
+"""Ablation — the metric-collection window (§5.4).
+
+Compares measurement windows of 1 / 3 (paper-style base) / 8 batches on
+the same optimization problem.  A single-batch window is cheapest per
+probe but noisy (worse final pick or more rounds to settle); a very
+large window smooths measurements but burns simulated time per probe.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.metrics_collector import MetricsCollector
+from repro.experiments.common import build_experiment, make_controller
+
+from .conftest import emit, run_once
+
+WORKLOAD = "page_analyze"
+WINDOWS = (1, 3, 8)
+
+
+def run_windows(seed=17, rounds=25):
+    rows = []
+    for window in WINDOWS:
+        setup = build_experiment(WORKLOAD, seed=seed)
+        controller = make_controller(setup, seed=seed)
+        controller.collector = MetricsCollector(
+            window=window, max_window=max(12, window)
+        )
+        controller.adjust.collector = controller.collector
+        start = setup.system.time
+        controller.run(rounds)
+        best = controller.pause_rule.best_config()
+        rows.append(
+            {
+                "window": window,
+                "best": best,
+                "sim_time": setup.system.time - start,
+            }
+        )
+    return rows
+
+
+def test_ablation_window(benchmark):
+    rows = run_once(benchmark, run_windows)
+    emit(
+        format_table(
+            ["window (batches)", "interval (s)", "delay (s)", "stable",
+             "sim time (s)"],
+            [
+                (r["window"], r["best"].batch_interval,
+                 r["best"].end_to_end_delay, r["best"].stable, r["sim_time"])
+                for r in rows
+            ],
+            title=f"Ablation: metric-collection window ({WORKLOAD})",
+        )
+    )
+    by_window = {r["window"]: r for r in rows}
+    # Larger windows consume more simulated time for the same rounds.
+    assert by_window[8]["sim_time"] > by_window[1]["sim_time"]
+    # The paper-style window must end stable with a competitive delay.
+    assert by_window[3]["best"].stable
+    best_delay = min(r["best"].end_to_end_delay for r in rows)
+    assert by_window[3]["best"].end_to_end_delay <= 1.5 * best_delay

@@ -1,0 +1,105 @@
+"""Ablation — windowed workloads under NoStop (substrate extension).
+
+A sliding-window word count processes its window's worth of records
+every batch: the *recompute* strategy reprocesses the whole window, the
+*incremental* strategy (invertible reduce) touches only the entering and
+leaving batches.
+
+This ablation also demonstrates the tunability limit derived in
+DESIGN.md §7.7: NoStop's ρ-capped objective has its minimum at the
+stability crossover only while d(proc)/d(interval) < 0.5.  A recompute
+window multiplies that slope by the window width — a *wide* recompute
+window (6 batches, slope ≈ 1) leaves no reachable stable optimum and
+NoStop's estimate falls into the minimum-interval corner, while a
+*narrow* recompute window (2 batches) and incremental windows of any
+width remain tunable.  The practical reading matches Spark's own
+guidance: supply an inverse reduce function for wide windows.
+"""
+
+from repro.analysis.tables import format_table
+from repro.cluster.cluster import paper_cluster
+from repro.core.bounds import paper_configuration_space
+from repro.core.system import SimulatedSparkSystem
+from repro.datagen.generator import DataGenerator
+from repro.datagen.rates import paper_rate_trace
+from repro.experiments.common import ExperimentSetup, make_controller
+from repro.kafka.cluster import paper_kafka_cluster
+from repro.streaming.context import StreamingConfig, StreamingContext
+from repro.workloads.windowed import WindowedWordCount
+from repro.workloads.wordcount import WordCount
+
+from .conftest import emit, run_once
+
+SEED = 41
+WINDOW = 6
+
+
+def build(workload) -> ExperimentSetup:
+    cluster = paper_cluster()
+    kafka = paper_kafka_cluster(cluster.total_cores)
+    generator = DataGenerator(
+        kafka.topic("events"),
+        paper_rate_trace("wordcount", seed=SEED),
+        payload_kind="text",
+        seed=SEED,
+    )
+    context = StreamingContext(
+        cluster, workload, generator,
+        StreamingConfig(10.0, 10), seed=SEED, queue_max_length=25,
+    )
+    return ExperimentSetup(
+        cluster=cluster, kafka=kafka, workload=workload, generator=generator,
+        context=context, system=SimulatedSparkSystem(context),
+        scaler=paper_configuration_space(),
+    )
+
+
+def run_window_variants(rounds=30):
+    variants = {
+        "plain wordcount": WordCount(),
+        f"incremental window ({WINDOW} batches)": WindowedWordCount(
+            window_batches=WINDOW, incremental=True
+        ),
+        "recompute window (2 batches)": WindowedWordCount(
+            window_batches=2, incremental=False
+        ),
+        f"recompute window ({WINDOW} batches)": WindowedWordCount(
+            window_batches=WINDOW, incremental=False
+        ),
+    }
+    results = {}
+    for name, workload in variants.items():
+        setup = build(workload)
+        controller = make_controller(setup, seed=SEED)
+        controller.run(rounds)
+        results[name] = controller.pause_rule.best_config()
+    return results
+
+
+def test_ablation_windowing(benchmark):
+    results = run_once(benchmark, run_window_variants)
+    emit(
+        format_table(
+            ["workload", "interval (s)", "executors", "proc (s)",
+             "delay (s)", "stable"],
+            [
+                (name, b.batch_interval, b.num_executors,
+                 b.mean_processing_time, b.end_to_end_delay, b.stable)
+                for name, b in results.items()
+            ],
+            title="Ablation: windowed operations under NoStop (wordcount band)",
+        )
+    )
+    plain = results["plain wordcount"]
+    inc = results[f"incremental window ({WINDOW} batches)"]
+    rec2 = results["recompute window (2 batches)"]
+    rec6 = results[f"recompute window ({WINDOW} batches)"]
+    # Tunable variants end stable.
+    assert plain.stable and inc.stable and rec2.stable
+    # Incremental windowing is nearly free vs plain (inverse reduce).
+    assert inc.end_to_end_delay < 2.0 * plain.end_to_end_delay
+    # A narrow recompute window costs more than plain at its optimum.
+    assert rec2.end_to_end_delay > plain.end_to_end_delay
+    # The wide recompute window breaks the s < 0.5 tunability condition
+    # (DESIGN.md §7.7): no stable configuration is found.
+    assert not rec6.stable

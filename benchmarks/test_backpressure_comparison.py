@@ -1,0 +1,76 @@
+"""NoStop vs Spark Back Pressure (abstract / §6 comparison).
+
+Shape contract: back pressure protects stability at a fixed
+configuration by throttling ingestion, so its end-to-end delay stays
+pinned near the untuned configuration's while records queue upstream;
+NoStop instead retunes interval and executors and reaches a much lower
+delay at full offered load.
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.backpressure import run_backpressure
+from repro.baselines.fixed import DEFAULT_CONFIGURATION, run_fixed_configuration
+from repro.experiments.common import build_experiment, make_controller
+
+from .conftest import emit, run_once
+
+WORKLOAD = "linear_regression"
+
+
+def compare(seed=11):
+    # NoStop: optimize, then measure its final configuration fresh.
+    setup = build_experiment(WORKLOAD, seed=seed)
+    controller = make_controller(setup, seed=seed)
+    report = controller.run(35)
+    tuned = build_experiment(
+        WORKLOAD, seed=seed + 7,
+        batch_interval=report.final_interval,
+        num_executors=report.final_executors,
+    )
+    nostop = run_fixed_configuration(tuned.context, batches=30, warmup=4)
+
+    # Back pressure at the default configuration.
+    bp_setup = build_experiment(
+        WORKLOAD, seed=seed + 7,
+        batch_interval=DEFAULT_CONFIGURATION.batch_interval,
+        num_executors=DEFAULT_CONFIGURATION.num_executors,
+    )
+    bp = run_backpressure(bp_setup.context, batches=30, warmup=4)
+
+    # Plain default, no back pressure.
+    d_setup = build_experiment(
+        WORKLOAD, seed=seed + 7,
+        batch_interval=DEFAULT_CONFIGURATION.batch_interval,
+        num_executors=DEFAULT_CONFIGURATION.num_executors,
+    )
+    default = run_fixed_configuration(d_setup.context, batches=30, warmup=4)
+    return report, nostop, bp, default
+
+
+def test_backpressure_comparison(benchmark):
+    report, nostop, bp, default = run_once(benchmark, compare)
+    emit(
+        format_table(
+            ["approach", "e2e delay (s)", "proc time (s)", "throttled frac"],
+            [
+                ("NoStop (tuned)", nostop.mean_end_to_end_delay,
+                 nostop.mean_processing_time, 0.0),
+                ("Back Pressure (default cfg)", bp.mean_end_to_end_delay,
+                 bp.mean_processing_time, bp.throttled_fraction),
+                ("Default (untuned)", default.mean_end_to_end_delay,
+                 default.mean_processing_time, 0.0),
+            ],
+            title=f"NoStop vs Back Pressure ({WORKLOAD})",
+        )
+    )
+    emit(
+        f"NoStop final config: {report.final_interval:.2f} s x "
+        f"{report.final_executors} executors"
+    )
+
+    # NoStop beats both alternatives on delay.
+    assert nostop.mean_end_to_end_delay < bp.mean_end_to_end_delay
+    assert nostop.mean_end_to_end_delay < default.mean_end_to_end_delay
+    # Back pressure cannot shrink the delay floor set by the static
+    # interval (half the 20 s interval at minimum).
+    assert bp.mean_end_to_end_delay >= DEFAULT_CONFIGURATION.batch_interval / 2

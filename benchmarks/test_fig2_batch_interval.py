@@ -1,0 +1,36 @@
+"""Fig. 2 — batch interval vs processing time (a) and schedule delay (b).
+
+Shape contract: processing time grows slowly with the interval; the
+system is unstable (exploding schedule delay) below a crossover near
+10 s for streaming logistic regression at its paper rate band; minimum
+end-to-end delay sits at/near the crossover.
+"""
+
+from repro.experiments.fig2_batch_interval import run_fig2
+
+from .conftest import emit, run_once
+
+
+def test_fig2_batch_interval(benchmark):
+    result = run_once(benchmark, run_fig2, batches=20, seed=1)
+    emit(result.to_table())
+    emit(
+        f"crossover interval: {result.crossover_interval():.1f} s "
+        f"(paper: ~10 s); best-delay interval: {result.best_interval():.1f} s"
+    )
+
+    procs = [p.processing_time for p in result.points]
+    intervals = [p.interval for p in result.points]
+    # Fig. 2a: slow, monotone growth.
+    assert procs == sorted(procs)
+    assert (procs[-1] - procs[0]) / (intervals[-1] - intervals[0]) < 0.7
+    # Fig. 2b: instability below the crossover, stability above.
+    assert 6.0 <= result.crossover_interval() <= 16.0
+    unstable = [p for p in result.points if not p.stable]
+    stable = [p for p in result.points if p.stable]
+    assert unstable and stable
+    assert min(p.schedule_delay for p in unstable) > max(
+        p.schedule_delay for p in stable
+    )
+    # Minimum end-to-end delay at/near the crossover.
+    assert result.best_interval() <= result.crossover_interval() + 4.0

@@ -1,0 +1,40 @@
+"""Fig. 3 — executor count vs processing time (a) and schedule delay (b).
+
+Shape contract: U-shaped processing time (limited parallelism left,
+management overhead right); instability below ~10 executors at a 10 s
+interval; best end-to-end delay in the upper half of the range, with
+20-executor processing time close to the interval yet stable.
+"""
+
+from repro.experiments.fig3_executors import run_fig3
+
+from .conftest import emit, run_once
+
+
+def test_fig3_executors(benchmark):
+    result = run_once(benchmark, run_fig3, batches=20, seed=1)
+    emit(result.to_table())
+    emit(
+        f"min stable executors: {result.min_stable_executors()} "
+        f"(paper: ~10); best: {result.best_executors()} (paper: ~20)"
+    )
+
+    # Fig. 3a: U shape.
+    assert result.is_u_shaped()
+    # Left arm: few executors are slow and unstable.
+    assert not result.points[0].stable
+    assert result.points[0].processing_time > 1.5 * min(
+        p.processing_time for p in result.points
+    )
+    # Stability appears by mid-range.
+    assert 6 <= result.min_stable_executors() <= 12
+    # Fig. 3b: schedule delay collapses once stable.
+    stable = [p for p in result.points if p.stable]
+    assert all(p.schedule_delay < 10.0 for p in stable)
+    # Best end-to-end delay in the upper half of the sweep.
+    assert result.best_executors() >= 10
+    # The 20-executor point: processing time close to the interval but
+    # still stable (paper's observation).
+    p20 = next(p for p in result.points if p.executors == 20)
+    assert p20.stable
+    assert p20.processing_time > 0.8 * p20.interval

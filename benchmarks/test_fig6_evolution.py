@@ -1,0 +1,35 @@
+"""Fig. 6 — NoStop's optimization evolution on the four workloads.
+
+Shape contract: starting from the mid-range default, the batch-interval
+estimate decreases toward the stability frontier while processing time
+tracks the interval from below; the run ends in a stable configuration
+for every workload; ML trajectories are noisier than WordCount's.
+"""
+
+from repro.experiments.fig6_evolution import PAPER_WORKLOADS, run_fig6
+
+from .conftest import emit, run_once
+
+
+def test_fig6_evolution(benchmark):
+    traces = run_once(benchmark, run_fig6, rounds=35, seed=1)
+
+    for name in PAPER_WORKLOADS:
+        trace = traces[name]
+        emit(trace.to_text())
+        best = trace.report.best
+        emit(
+            f"  {name}: start {trace.intervals[0]:.1f} s -> settled at "
+            f"{best.batch_interval:.2f} s x {best.num_executors} executors "
+            f"(proc {best.mean_processing_time:.2f} s, stable={best.stable}; "
+            f"round-to-round proc variation {trace.processing_noise():.3f})"
+        )
+
+    for name in PAPER_WORKLOADS:
+        trace = traces[name]
+        # "the batch interval can keep decreasing while maintaining the
+        # stability of the system" (§6.3)
+        assert trace.interval_decreased(), name
+        assert trace.stable_at_end(), name
+        # The tuned interval is far below the 20.5 s mid-range start.
+        assert trace.final_interval() < 0.8 * trace.intervals[0], name

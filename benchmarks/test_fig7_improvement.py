@@ -1,0 +1,29 @@
+"""Fig. 7 — end-to-end delay improvement over the default configuration.
+
+Shape contract: NoStop's tuned configuration yields a substantially
+smaller steady-state end-to-end delay than the untuned default for every
+workload (paper: "NoStop significantly reduces end-to-end delay in
+comparison with the system's default configurations"), averaged over
+repeated runs with per-repeat standard deviations.
+"""
+
+from repro.experiments.fig7_improvement import run_fig7
+
+from .conftest import emit, run_once
+
+
+def test_fig7_improvement(benchmark):
+    result = run_once(
+        benchmark, run_fig7, repeats=5, rounds=35, base_seed=1
+    )
+    emit(result.to_table())
+
+    for name, w in result.workloads.items():
+        assert w.improvement > 1.3, (
+            f"{name}: NoStop {w.nostop.mean:.1f}s vs default "
+            f"{w.default.mean:.1f}s"
+        )
+        # Every single repeat must improve, not just the mean.
+        assert max(w.nostop_delays) < max(w.default_delays), name
+        # Tuned executors land in the stable region.
+        assert all(e >= 6 for e in w.final_executors), name

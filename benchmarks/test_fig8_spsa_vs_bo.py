@@ -1,0 +1,45 @@
+"""Fig. 8 — SPSA (NoStop) vs Bayesian Optimization.
+
+Shape contract (§6.4): "the final optimization results are comparable,
+but the search time and configure steps of SPSA are less than that of
+Bayesian Optimization".  Both optimizers share the measurement pathway
+and convergence rule; aggregate over repeats per workload.
+"""
+
+import numpy as np
+
+from repro.experiments.fig8_spsa_vs_bo import run_fig8
+
+from .conftest import emit, run_once
+
+WORKLOADS = ("logistic_regression", "wordcount")  # one ML + one simple
+
+
+def test_fig8_spsa_vs_bo(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig8,
+        repeats=5,
+        rounds=35,
+        bo_evaluations=70,
+        base_seed=1,
+        workloads=WORKLOADS,
+    )
+    emit(result.to_table())
+
+    delay_ratios = []
+    step_wins = 0
+    time_wins = 0
+    for name, cmp_ in result.workloads.items():
+        delay = cmp_.summary("final_delay")
+        steps = cmp_.summary("config_steps")
+        time_ = cmp_.summary("search_time")
+        delay_ratios.append(delay["spsa"].mean / delay["bo"].mean)
+        step_wins += steps["spsa"].mean <= steps["bo"].mean
+        time_wins += time_["spsa"].mean <= time_["bo"].mean
+
+    # Final results comparable: within 2x either way on average.
+    assert 0.5 < float(np.mean(delay_ratios)) < 2.0
+    # SPSA needs fewer configuration steps / less search time on the
+    # majority of workloads.
+    assert step_wins + time_wins >= len(result.workloads)

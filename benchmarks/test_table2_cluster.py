@@ -1,0 +1,43 @@
+"""Table 2 — the heterogeneous five-node cluster.
+
+Regenerates the paper's cluster inventory from the substrate model and
+verifies the capacity invariants the §6.2.1 configuration range relies
+on (1..20 executors of 1 core / 1 GB).
+"""
+
+from repro.analysis.tables import format_table
+from repro.cluster import ResourceManager, paper_cluster
+
+from .conftest import emit, run_once
+
+
+def build_and_inventory():
+    cluster = paper_cluster()
+    rows = [
+        (
+            n.node_id,
+            f"{n.cpu.model} {n.cpu.clock_ghz}GHz",
+            n.disk.value.upper(),
+            n.role.value.capitalize(),
+            n.cpu.cores,
+            f"{n.speed_factor:.2f}",
+        )
+        for n in cluster
+    ]
+    rm = ResourceManager(cluster)
+    return cluster, rows, rm.max_executors
+
+
+def test_table2_cluster(benchmark):
+    cluster, rows, max_executors = run_once(benchmark, build_and_inventory)
+    emit(
+        format_table(
+            ["Node ID", "CPU", "Disk", "Type", "cores", "speed"],
+            rows,
+            title="Table 2: list of cluster nodes",
+        )
+    )
+    emit(f"max 1-core/1GB executors: {max_executors} (paper range: 1..20)")
+    assert len(cluster) == 5
+    assert cluster.is_heterogeneous()
+    assert max_executors >= 20

@@ -1,0 +1,91 @@
+"""Head-to-head: SPSA (NoStop) vs Bayesian optimization vs random search
+vs grid search on the same live system (Fig. 8 extended).
+
+All four optimizers drive identical deployments through the identical
+Adjust measurement pathway; the table reports the paper's three axes —
+final delay, search time (simulated seconds), configuration steps — plus
+each final configuration.
+
+Run:  python examples/compare_optimizers.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.baselines.bayesian import run_bayesian_optimization
+from repro.baselines.fixed import run_fixed_configuration
+from repro.baselines.grid_search import run_grid_search
+from repro.baselines.random_search import run_random_search
+from repro.core.adjust import theta_to_configuration
+from repro.experiments.common import build_experiment
+
+WORKLOAD = "linear_regression"
+SEED = 23
+
+
+def honest_delay(theta, scaler) -> float:
+    """Steady-state delay of a chosen configuration, measured fresh.
+
+    Optimizers that evaluate each configuration once (grid / random
+    search) would otherwise report the luckiest measurement window
+    (winner's curse); a fresh fixed run levels the field.
+    """
+    interval, executors = theta_to_configuration(theta, scaler)[:2]
+    setup = build_experiment(
+        WORKLOAD, seed=SEED + 99,
+        batch_interval=interval, num_executors=executors,
+    )
+    run = run_fixed_configuration(setup.context, batches=25, warmup=4)
+    return run.mean_end_to_end_delay
+
+
+def main() -> None:
+    rows = []
+
+    from repro.experiments.common import make_controller
+
+    setup = build_experiment(WORKLOAD, seed=SEED)
+    ctrl = make_controller(setup, seed=SEED)
+    rep = ctrl.run(35)
+    spsa_best = ctrl.pause_rule.best_config()
+    spsa_steps = rep.adjust_calls_to_pause or ctrl.adjust.calls
+    spsa_time = rep.search_time if rep.search_time is not None else setup.system.time
+    rows.append(("SPSA (NoStop)", honest_delay(spsa_best.theta, setup.scaler),
+                 spsa_time, spsa_steps,
+                 "yes" if rep.first_pause_round else "no"))
+
+    setup = build_experiment(WORKLOAD, seed=SEED)
+    bo = run_bayesian_optimization(
+        setup.system, setup.scaler, max_evaluations=70, seed=SEED
+    )
+    rows.append(("Bayesian opt", honest_delay(bo.final_theta, setup.scaler),
+                 bo.search_time, bo.config_steps,
+                 "yes" if bo.converged_at else "no"))
+
+    setup = build_experiment(WORKLOAD, seed=SEED)
+    rs = run_random_search(
+        setup.system, setup.scaler, max_evaluations=70, seed=SEED
+    )
+    rows.append(("Random search", honest_delay(rs.best().theta, setup.scaler),
+                 rs.search_time, len(rs.evaluations),
+                 "yes" if rs.converged_at else "no"))
+
+    setup = build_experiment(WORKLOAD, seed=SEED)
+    gs = run_grid_search(setup.system, setup.scaler, points_per_axis=6)
+    rows.append(("Grid search (6x6)", honest_delay(gs.best().theta, setup.scaler),
+                 gs.search_time, len(gs.evaluations), "n/a"))
+
+    print(format_table(
+        ["optimizer", "final delay (s)", "search time (s)",
+         "config steps", "converged"],
+        rows,
+        title=f"Optimizer comparison on {WORKLOAD} "
+              f"(paper rate band, final configs re-measured fresh)",
+    ))
+    print(
+        "\nExpected shape (paper §6.4 + §1): comparable final delays, but\n"
+        "SPSA converges with the fewest configuration steps; exhaustive\n"
+        "grid search burns an order of magnitude more live changes."
+    )
+
+
+if __name__ == "__main__":
+    main()

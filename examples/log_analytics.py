@@ -1,0 +1,70 @@
+"""Industrial log analytics with a traffic surge (§5.5 scenario).
+
+Page Analyze — "receiving Nginx log from Kafka, washing and analyzing
+data, and writing results back into HDFS" — runs at 170k-230k records/s
+until an e-commerce-promotion-style surge multiplies traffic by 2x.
+NoStop detects the input-speed change, resets its SPSA coefficients, and
+re-optimizes for the new regime; Spark's back pressure (shown for
+contrast) merely throttles ingestion at the old configuration.
+
+Run:  python examples/log_analytics.py
+"""
+
+from repro.baselines.backpressure import run_backpressure
+from repro.baselines.fixed import DEFAULT_CONFIGURATION
+from repro.datagen.rates import SpikeRate, UniformRandomRate
+from repro.experiments.common import build_experiment, make_controller
+
+SURGE_START, SURGE_END, SURGE_FACTOR = 900.0, 4000.0, 2.0
+
+
+def surge_trace(seed: int) -> SpikeRate:
+    return SpikeRate(
+        UniformRandomRate(170_000, 230_000, seed=seed),
+        spikes=((SURGE_START, SURGE_END, SURGE_FACTOR),),
+    )
+
+
+def main() -> None:
+    seed = 17
+    setup = build_experiment("page_analyze", seed=seed, rate_trace=surge_trace(seed))
+
+    print("phase 1: log washing/analysis semantics on sampled payloads")
+    lines = setup.generator.sample_payloads(3000)
+    result = setup.workload.run_kernel(lines)
+    print(f"  parsed {result.parsed} lines, dropped {result.malformed} malformed")
+    top = sorted(result.per_path.items(), key=lambda kv: -kv[1].hits)[:3]
+    for path, stats in top:
+        print(f"  {path:16s} hits={stats.hits:4d} "
+              f"mean latency={stats.mean_latency_ms:.1f}ms errors={stats.errors}")
+
+    print(f"\nphase 2: NoStop through a {SURGE_FACTOR}x surge at t={SURGE_START:.0f}s")
+    controller = make_controller(setup, seed=seed)
+    report = controller.run(rounds=50)
+
+    for r in report.rounds:
+        if r.phase == "reset":
+            print(f"  round {r.round_index}: SURGE DETECTED -> coefficients "
+                  f"reset (sim time {r.sim_time:.0f}s)")
+    print(f"  resets triggered: {report.resets}")
+    best = controller.pause_rule.best_config()
+    print(f"  final configuration: interval={report.final_interval:.2f}s x "
+          f"{report.final_executors} executors (stable={best.stable}, "
+          f"delay~{best.end_to_end_delay:.1f}s)")
+
+    print("\nphase 3: back pressure under the same surge (default config)")
+    bp_setup = build_experiment(
+        "page_analyze", seed=seed + 1, rate_trace=surge_trace(seed),
+        batch_interval=DEFAULT_CONFIGURATION.batch_interval,
+        num_executors=DEFAULT_CONFIGURATION.num_executors,
+    )
+    bp = run_backpressure(bp_setup.context, batches=60)
+    print(f"  delay={bp.mean_end_to_end_delay:.1f}s, "
+          f"throttled {100 * bp.throttled_fraction:.1f}% of offered records "
+          f"(rate cap {bp.final_rate_cap:.0f} rec/s)")
+    print(f"\n  NoStop delay ~{best.end_to_end_delay:.1f}s at full offered load "
+          f"vs back pressure {bp.mean_end_to_end_delay:.1f}s while shedding input")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""NoStop reproduction: SPSA-based online configuration optimization for
+micro-batch stream processing.
+
+Reproduces Ye, Liu & Wu, "NoStop: A Novel Configuration Optimization
+Scheme for Spark Streaming" (ICPP 2021) on a from-scratch discrete-event
+simulation of the Spark Streaming stack (heterogeneous cluster, Kafka,
+micro-batch engine, four evaluation workloads) plus the Bayesian-
+optimization and back-pressure baselines.
+
+Quick start::
+
+    from repro import quick_nostop_run
+    report = quick_nostop_run("wordcount", rounds=30, seed=7)
+    print(report.final_interval, report.final_executors)
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from . import baselines, cluster, core, datagen, engine, kafka, streaming, workloads
+from .core import NoStopController, NoStopReport, SPSAOptimizer
+from .experiments.common import build_experiment, quick_nostop_run
+
+__all__ = [
+    "NoStopController",
+    "NoStopReport",
+    "SPSAOptimizer",
+    "__version__",
+    "baselines",
+    "build_experiment",
+    "cluster",
+    "core",
+    "datagen",
+    "engine",
+    "kafka",
+    "quick_nostop_run",
+    "streaming",
+    "workloads",
+]

@@ -1,0 +1,134 @@
+"""Convergence diagnostics for optimizer runs.
+
+The paper argues SPSA's "proven convergence property ... ensur[es] that
+each optimization step is effective" (§4.2.1).  These helpers quantify
+that on recorded runs: best-so-far (regret) curves, distance of the
+iterate to its final value, the empirical decay-rate fit, and a simple
+settling-time metric used by the Fig. 6/8 analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+def best_so_far(values: Sequence[float]) -> np.ndarray:
+    """Running minimum of an objective series (the regret curve's envelope)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    return np.minimum.accumulate(arr)
+
+
+def regret(values: Sequence[float], optimum: float) -> np.ndarray:
+    """Per-evaluation simple regret against a known/assumed optimum."""
+    curve = best_so_far(values)
+    r = curve - float(optimum)
+    if np.any(r < -1e-9):
+        raise ValueError(
+            "optimum is larger than an observed value; pass the true optimum"
+        )
+    return np.maximum(r, 0.0)
+
+
+def distance_to_final(iterates: Sequence[Sequence[float]]) -> np.ndarray:
+    """Euclidean distance of every iterate to the final iterate.
+
+    A (noisily) decreasing curve is the visual signature of stochastic-
+    approximation convergence.
+    """
+    pts = np.asarray([list(p) for p in iterates], dtype=float)
+    if pts.ndim != 2 or len(pts) < 2:
+        raise ValueError("need at least two iterates of equal dimension")
+    return np.linalg.norm(pts - pts[-1], axis=1)
+
+
+def settling_round(
+    values: Sequence[float], tolerance: float, window: int = 5
+) -> int:
+    """First index after which the series stays within ``tolerance`` of
+    its final value for at least ``window`` consecutive entries.
+
+    Returns ``len(values)`` when the series never settles.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("empty series")
+    final = arr[-1]
+    ok = np.abs(arr - final) <= tolerance
+    run = 0
+    for i, flag in enumerate(ok):
+        run = run + 1 if flag else 0
+        if run >= window and np.all(ok[i:]):
+            return i - window + 1
+    return len(arr)
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """Power-law fit ``d_k ≈ C · k^{-β}`` to a convergence curve."""
+
+    beta: float
+    log_c: float
+    r_squared: float
+
+    @property
+    def converging(self) -> bool:
+        """Meaningfully positive decay exponent (β > 0.05)."""
+        return self.beta > 0.05
+
+
+def fit_decay_rate(distances: Sequence[float]) -> DecayFit:
+    """Least-squares power-law fit in log-log space.
+
+    SPSA theory gives asymptotic O(k^{-(α-γ)/2 - ...}) decay of the
+    iterate error; the empirical β from a run is a useful smoke test
+    that the gains are in a sane regime (β ≈ 0 means no progress).
+    Zero distances (exact hits) are floored at the smallest positive
+    observation.
+    """
+    arr = np.asarray(list(distances), dtype=float)
+    if arr.size < 3:
+        raise ValueError("need at least three points to fit a decay rate")
+    if np.any(arr < 0):
+        raise ValueError("distances must be >= 0")
+    positive = arr[arr > 0]
+    if positive.size == 0:
+        return DecayFit(beta=float("inf"), log_c=-float("inf"), r_squared=1.0)
+    floored = np.maximum(arr, positive.min())
+    k = np.arange(1, arr.size + 1, dtype=float)
+    x = np.log(k)
+    y = np.log(floored)
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return DecayFit(beta=float(-slope), log_c=float(intercept), r_squared=r2)
+
+
+def spsa_run_diagnostics(history) -> dict:
+    """Summary diagnostics for an :class:`~repro.core.spsa.SPSAOptimizer`
+    history (list of :class:`SPSAIteration`)."""
+    if not history:
+        raise ValueError("empty SPSA history")
+    iterates = [rec.theta for rec in history] + [history[-1].theta_next]
+    objectives: List[float] = []
+    for rec in history:
+        vals = [v for v in (rec.y_plus, rec.y_minus) if np.isfinite(v)]
+        objectives.append(float(np.mean(vals)))
+    distances = distance_to_final(iterates)
+    return {
+        "iterations": len(history),
+        "best_objective": float(np.min(objectives)),
+        "final_distance_start": float(distances[0]),
+        "decay": fit_decay_rate(distances[:-1]) if len(distances) > 3 else None,
+        "best_so_far": best_so_far(objectives),
+    }

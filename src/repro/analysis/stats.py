@@ -1,0 +1,91 @@
+"""Statistical helpers for experiment post-processing.
+
+Every Fig. 7 / Fig. 8 style result in the paper is "repeat five times,
+report mean ± standard deviation"; these helpers centralize that pattern
+(plus bootstrap confidence intervals for the extended analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± std summary of repeated measurements."""
+
+    mean: float
+    std: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean/std/min/max of a repeat set (ddof=1 when possible)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    if np.any(~np.isfinite(arr)):
+        raise ValueError("values must be finite")
+    std = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+    return Summary(
+        mean=float(np.mean(arr)),
+        std=std,
+        n=int(arr.size),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+    )
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """How many times smaller ``improved`` is than ``baseline``."""
+    if improved <= 0:
+        raise ValueError("improved value must be positive")
+    if baseline < 0:
+        raise ValueError("baseline must be >= 0")
+    return baseline / improved
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> tuple:
+    """Percentile bootstrap confidence interval for a statistic."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least two values for a bootstrap CI")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[idx])
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, alpha)),
+        float(np.quantile(stats, 1.0 - alpha)),
+    )
+
+
+def rolling_mean(values: Sequence[float], window: int) -> np.ndarray:
+    """Simple trailing rolling mean (for evolution-plot smoothing)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return arr
+    out = np.empty_like(arr)
+    csum = np.cumsum(arr)
+    for i in range(arr.size):
+        lo = max(0, i - window + 1)
+        out[i] = (csum[i] - (csum[lo - 1] if lo > 0 else 0.0)) / (i - lo + 1)
+    return out

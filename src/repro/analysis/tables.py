@@ -1,0 +1,58 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers format aligned ASCII tables without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, bool):
+                cells.append("yes" if cell else "no")
+            elif isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        str_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns"
+            )
+        for i, c in enumerate(cells):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for cells in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, unit: str = "") -> str:
+    """Render a figure series as ``x -> y`` pairs, one per line."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    suffix = f" {unit}" if unit else ""
+    lines = [f"series: {name}"]
+    for x, y in zip(xs, ys):
+        yv = f"{y:.3f}" if isinstance(y, float) else str(y)
+        lines.append(f"  {x} -> {yv}{suffix}")
+    return "\n".join(lines)

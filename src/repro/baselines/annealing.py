@@ -1,0 +1,112 @@
+"""Simulated-annealing baseline.
+
+The paper's related work (§2) cites Otterman [16], which "dynamically
+adjust[s] parameters to obtain optimal Spark configuration" with
+simulated annealing.  This baseline drives the same live system through
+the same Adjust pathway: propose a random neighbour of the current
+configuration, accept improvements always and regressions with
+probability ``exp(-Δ/T)``, and cool geometrically.
+
+Like BO it pays one configuration change per evaluation; unlike SPSA it
+has no gradient information, so it needs more evaluations to localize
+the stability frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.adjust import AdjustFunction, ControlledSystem, evaluate_config
+from repro.core.bounds import MinMaxScaler
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.pause import EvaluatedConfig, PauseRule
+
+
+@dataclass
+class AnnealingReport:
+    """Outcome of a simulated-annealing run (Fig. 8-comparable axes)."""
+
+    evaluations: List[EvaluatedConfig] = field(default_factory=list)
+    accepted: int = 0
+    search_time: float = 0.0
+    config_changes: int = 0
+    converged_at: Optional[int] = None
+    final_temperature: float = 0.0
+
+    @property
+    def config_steps(self) -> int:
+        return len(self.evaluations)
+
+    def best(self) -> EvaluatedConfig:
+        if not self.evaluations:
+            raise RuntimeError("no evaluations recorded")
+        return min(self.evaluations, key=lambda e: e.sort_key)
+
+
+def run_simulated_annealing(
+    system: ControlledSystem,
+    scaler: MinMaxScaler,
+    max_evaluations: int = 60,
+    rho: float = 2.0,
+    initial_temperature: float = 10.0,
+    cooling: float = 0.92,
+    neighbour_scale: float = 0.15,
+    seed: int = 0,
+    pause_rule: Optional[PauseRule] = None,
+    collector: Optional[MetricsCollector] = None,
+) -> AnnealingReport:
+    """Anneal over the scaled configuration box against a live system.
+
+    ``neighbour_scale`` is the per-axis proposal std as a fraction of the
+    scaled range; ``cooling`` multiplies the temperature each evaluation.
+    """
+    if max_evaluations < 1:
+        raise ValueError("max_evaluations must be >= 1")
+    if not (0.0 < cooling < 1.0):
+        raise ValueError("cooling must be in (0, 1)")
+    if initial_temperature <= 0:
+        raise ValueError("initial_temperature must be positive")
+    if neighbour_scale <= 0:
+        raise ValueError("neighbour_scale must be positive")
+
+    rng = np.random.default_rng(seed)
+    collector = collector or MetricsCollector()
+    adjust = AdjustFunction(system, scaler, collector)
+    rule = pause_rule or PauseRule()
+    report = AnnealingReport()
+    start_time = system.time
+    box = scaler.scaled
+
+    current = box.center()
+    current_result = adjust(current, rho)
+    current_eval = evaluate_config(current_result, current, 0, rho_cap=rho)
+    report.evaluations.append(current_eval)
+    rule.record(current_eval)
+    temperature = initial_temperature
+
+    for i in range(1, max_evaluations):
+        step = rng.normal(scale=neighbour_scale * box.ranges)
+        candidate = box.project(current + step)
+        result = adjust(candidate, rho)
+        evaluated = evaluate_config(result, candidate, i, rho_cap=rho)
+        report.evaluations.append(evaluated)
+        rule.record(evaluated)
+
+        delta = evaluated.objective - current_eval.objective
+        if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+            current = candidate
+            current_eval = evaluated
+            report.accepted += 1
+        temperature *= cooling
+
+        if rule.should_pause():
+            report.converged_at = i + 1
+            break
+
+    report.search_time = system.time - start_time
+    report.config_changes = system.config_changes
+    report.final_temperature = temperature
+    return report

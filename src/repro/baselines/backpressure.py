@@ -1,0 +1,77 @@
+"""Back-pressure baseline harness.
+
+Runs a streaming context at a fixed configuration with Spark's PID rate
+estimator throttling ingestion (the "Spark Back Pressure solution" the
+abstract compares against).  Back pressure protects stability by
+*dropping/deferring input* rather than tuning the system, so its
+effective throughput falls below the offered load whenever the static
+configuration is undersized — the comparison NoStop wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.streaming.backpressure import BackPressureController, PIDRateEstimator
+from repro.streaming.context import StreamingContext
+from repro.streaming.metrics import BatchInfo
+
+
+@dataclass(frozen=True)
+class BackPressureRunResult:
+    """Steady-state metrics of a back-pressure-governed run."""
+
+    batches: int
+    mean_end_to_end_delay: float
+    mean_processing_time: float
+    mean_scheduling_delay: float
+    unstable_fraction: float
+    final_rate_cap: float
+    throttled_records: int
+    processed_records: int
+
+    @property
+    def throttled_fraction(self) -> float:
+        """Share of offered records the throttle refused."""
+        total = self.throttled_records + self.processed_records
+        return self.throttled_records / total if total else 0.0
+
+
+def run_backpressure(
+    context: StreamingContext,
+    batches: int = 60,
+    warmup: int = 5,
+    estimator: PIDRateEstimator = None,
+) -> BackPressureRunResult:
+    """Run with PID back pressure at the context's fixed configuration."""
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    if warmup < 0 or warmup >= batches:
+        raise ValueError("need 0 <= warmup < batches")
+    controller = BackPressureController(
+        context.listener,
+        context.generator.set_rate_cap,
+        estimator=estimator,
+    )
+    completed: List[BatchInfo] = []
+    boundaries = 0
+    cap = batches * 50
+    while len(completed) < batches and boundaries < cap:
+        completed.extend(context.advance_one_batch())
+        boundaries += 1
+    used = completed[warmup:] if len(completed) > warmup else completed
+    n = len(used)
+    if n == 0:
+        raise RuntimeError("no batches completed under back pressure")
+    producer = context.generator.producer
+    return BackPressureRunResult(
+        batches=n,
+        mean_end_to_end_delay=sum(b.end_to_end_delay for b in used) / n,
+        mean_processing_time=sum(b.processing_time for b in used) / n,
+        mean_scheduling_delay=sum(b.scheduling_delay for b in used) / n,
+        unstable_fraction=sum(1 for b in used if not b.stable) / n,
+        final_rate_cap=controller.last_rate or float("inf"),
+        throttled_records=producer.total_throttled,
+        processed_records=producer.total_produced,
+    )

@@ -1,0 +1,197 @@
+"""Bayesian-optimization baseline (§6.4).
+
+The paper compares NoStop against Bayesian Optimization driving the same
+live system: each BO evaluation applies one configuration, measures the
+penalized objective through the identical Adjust pathway, and updates a
+GP surrogate.  The comparison metrics are the paper's three: final
+optimization result (end-to-end delay), search time, and configuration
+steps — BO pays *one* configuration change per objective evaluation but
+needs more evaluations and a surrogate refit per step, while SPSA pays
+two changes per iteration and converges in fewer iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.adjust import (
+    AdjustFunction,
+    AdjustResult,
+    ControlledSystem,
+    evaluate_config,
+)
+from repro.core.bounds import Box, MinMaxScaler
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.pause import PauseRule
+
+from .acquisition import expected_improvement
+from .gp import GaussianProcess
+
+
+@dataclass(frozen=True)
+class BOEvaluation:
+    """One configuration evaluation in the BO loop."""
+
+    index: int
+    theta: np.ndarray
+    objective: float
+    end_to_end_delay: float
+    sim_time: float
+
+
+@dataclass
+class BOReport:
+    """Outcome of a Bayesian-optimization run (Fig. 8 axes)."""
+
+    evaluations: List[BOEvaluation] = field(default_factory=list)
+    converged_at: Optional[int] = None
+    search_time: Optional[float] = None
+    config_changes: int = 0
+    final_theta: Optional[np.ndarray] = None
+    final_delay: Optional[float] = None
+
+    @property
+    def config_steps(self) -> int:
+        """Configuration changes consumed (one per evaluation)."""
+        return len(self.evaluations)
+
+    def best(self) -> BOEvaluation:
+        if not self.evaluations:
+            raise RuntimeError("no evaluations recorded")
+        return min(self.evaluations, key=lambda e: e.objective)
+
+
+class BayesianOptimizer:
+    """GP + expected-improvement minimizer over a scaled box."""
+
+    def __init__(
+        self,
+        box: Box,
+        seed: int = 0,
+        init_points: int = 5,
+        candidates_per_step: int = 256,
+        noise_var: float = 0.05,
+        length_scale_frac: float = 0.2,
+    ) -> None:
+        if init_points < 2:
+            raise ValueError("init_points must be >= 2")
+        if candidates_per_step < 8:
+            raise ValueError("candidates_per_step must be >= 8")
+        self.box = box
+        self.rng = np.random.default_rng(seed)
+        self.init_points = init_points
+        self.candidates = candidates_per_step
+        self.noise_var = noise_var
+        self.length_scale_frac = length_scale_frac
+        self._x: List[np.ndarray] = []
+        self._y: List[float] = []
+
+    # -- ask/tell ---------------------------------------------------------
+
+    def ask(self) -> np.ndarray:
+        """Next configuration to evaluate."""
+        if len(self._x) < self.init_points:
+            # Space-filling initial design: stratified uniform samples.
+            frac = self.rng.uniform(size=self.box.dim)
+            return self.box.lower + frac * self.box.ranges
+        gp = GaussianProcess(
+            length_scales=self.box.ranges * self.length_scale_frac,
+            signal_var=1.0,
+            noise_var=self.noise_var,
+        ).fit(np.array(self._x), np.array(self._y))
+        cand = self.box.lower + self.rng.uniform(
+            size=(self.candidates, self.box.dim)
+        ) * self.box.ranges
+        mean, std = gp.predict(cand)
+        ei = expected_improvement(mean, std, best=min(self._y))
+        return cand[int(np.argmax(ei))]
+
+    def tell(self, theta: Sequence[float], y: float) -> None:
+        t = np.asarray(theta, dtype=float)
+        if not self.box.contains(t):
+            raise ValueError(f"theta {t} outside the feasible box")
+        if not np.isfinite(y):
+            raise ValueError(f"objective must be finite, got {y}")
+        self._x.append(t)
+        self._y.append(float(y))
+
+    @property
+    def observations(self) -> int:
+        return len(self._y)
+
+    def best_theta(self) -> np.ndarray:
+        if not self._x:
+            raise RuntimeError("no observations yet")
+        return self._x[int(np.argmin(self._y))].copy()
+
+
+def run_bayesian_optimization(
+    system: ControlledSystem,
+    scaler: MinMaxScaler,
+    max_evaluations: int = 40,
+    rho: float = 2.0,
+    pause_rule: Optional[PauseRule] = None,
+    collector: Optional[MetricsCollector] = None,
+    seed: int = 0,
+    on_evaluation: Optional[Callable[[BOEvaluation], None]] = None,
+) -> BOReport:
+    """Drive BO against a live system, mirroring the NoStop run loop.
+
+    Uses the same Adjust measurement pathway and the same impeded-
+    progress convergence rule as NoStop so the Fig. 8 comparison is
+    apples-to-apples.  ``rho`` is fixed at NoStop's penalty cap (BO has
+    no iteration-coupled schedule).
+    """
+    if max_evaluations < 1:
+        raise ValueError("max_evaluations must be >= 1")
+    collector = collector or MetricsCollector()
+    adjust = AdjustFunction(system, scaler, collector)
+    optimizer = BayesianOptimizer(scaler.scaled, seed=seed)
+    rule = pause_rule or PauseRule()
+    report = BOReport()
+    start_time = system.time
+
+    for i in range(max_evaluations):
+        theta = optimizer.ask()
+        result: AdjustResult = adjust(theta, rho)
+        optimizer.tell(theta, result.objective)
+        evaluated = evaluate_config(result, theta, i + 1, rho_cap=rho)
+        rule.record(evaluated)
+        evaluation = BOEvaluation(
+            index=i + 1,
+            theta=np.asarray(theta, dtype=float),
+            objective=result.objective,
+            end_to_end_delay=evaluated.end_to_end_delay,
+            sim_time=system.time,
+        )
+        report.evaluations.append(evaluation)
+        if on_evaluation is not None:
+            on_evaluation(evaluation)
+        if rule.should_pause():
+            report.converged_at = i + 1
+            break
+
+    # Confirmation pass (symmetric with NoStopController.confirm_best):
+    # re-measure the incumbent best until it has two windows, so BO's
+    # reported optimum is not a single lucky measurement.
+    for _ in range(4):
+        if not rule.evaluations:
+            break
+        incumbent = rule.best_config()
+        if rule.measurement_count(incumbent.theta) >= 2:
+            break
+        theta = np.asarray(incumbent.theta, dtype=float)
+        result = adjust(theta, rho)
+        optimizer.tell(theta, result.objective)
+        rule.record(evaluate_config(result, theta, optimizer.observations, rho_cap=rho))
+
+    report.search_time = system.time - start_time
+    report.config_changes = system.config_changes
+    confirmed = rule.best_config() if rule.evaluations else None
+    if confirmed is not None:
+        report.final_theta = np.asarray(confirmed.theta, dtype=float)
+        report.final_delay = confirmed.end_to_end_delay
+    return report

@@ -1,0 +1,68 @@
+"""Fixed-configuration baselines.
+
+The Fig. 7 comparison point: run the system at an unchanging
+configuration and measure steady-state delay.  ``DEFAULT_CONFIGURATION``
+stands in for "initial configurations set by default" — the mid-range
+batch interval a user who has not tuned anything would pick, with the
+modest executor pool Spark standalone grants by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.streaming.context import StreamingConfig, StreamingContext
+from repro.streaming.metrics import BatchInfo
+
+#: Untuned stand-in configuration (documented in DESIGN.md): mid-range
+#: interval from the paper's [1, 40] s space, 10 executors.
+DEFAULT_CONFIGURATION = StreamingConfig(batch_interval=20.0, num_executors=10)
+
+
+@dataclass(frozen=True)
+class FixedRunResult:
+    """Steady-state metrics of a fixed-configuration run."""
+
+    config: StreamingConfig
+    batches: int
+    mean_end_to_end_delay: float
+    mean_processing_time: float
+    mean_scheduling_delay: float
+    unstable_fraction: float
+
+
+def run_fixed_configuration(
+    context: StreamingContext,
+    batches: int = 60,
+    warmup: int = 5,
+) -> FixedRunResult:
+    """Run ``batches`` micro-batches at the context's configuration.
+
+    ``warmup`` initial batches are excluded from the averages (executor
+    initialization and queue fill-in effects).
+    """
+    if batches < 1:
+        raise ValueError("batches must be >= 1")
+    if warmup < 0 or warmup >= batches:
+        raise ValueError("need 0 <= warmup < batches")
+    completed: List[BatchInfo] = []
+    # Advance boundaries until enough batches complete (unstable configs
+    # complete slower than they are formed).
+    boundaries = 0
+    cap = batches * 50
+    while len(completed) < batches and boundaries < cap:
+        completed.extend(context.advance_one_batch())
+        boundaries += 1
+    used = completed[warmup:] if len(completed) > warmup else completed
+    n = len(used)
+    if n == 0:
+        raise RuntimeError("no batches completed; configuration pathological")
+    return FixedRunResult(
+        config=context.config,
+        batches=n,
+        mean_end_to_end_delay=sum(b.end_to_end_delay for b in used) / n,
+        mean_processing_time=sum(b.processing_time for b in used) / n,
+        mean_scheduling_delay=sum(b.scheduling_delay for b in used) / n,
+        unstable_fraction=sum(1 for b in used if not b.stable) / n,
+    )

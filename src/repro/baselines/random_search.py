@@ -1,0 +1,70 @@
+"""Pure random search over the configuration space.
+
+The simplest member of the "Random Search" family the paper situates
+Bayesian Optimization in (§6.4): evaluate uniformly random
+configurations through the same Adjust pathway and keep the best.  Used
+as a sanity floor in the Fig. 8 bench — BO and SPSA must both beat it on
+search efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.adjust import AdjustFunction, ControlledSystem, evaluate_config
+from repro.core.bounds import MinMaxScaler
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.pause import EvaluatedConfig, PauseRule
+
+
+@dataclass
+class RandomSearchReport:
+    """Outcome of a random-search run."""
+
+    evaluations: List[EvaluatedConfig] = field(default_factory=list)
+    search_time: float = 0.0
+    config_changes: int = 0
+    converged_at: Optional[int] = None
+
+    def best(self) -> EvaluatedConfig:
+        if not self.evaluations:
+            raise RuntimeError("no evaluations recorded")
+        return min(self.evaluations, key=lambda e: e.objective)
+
+
+def run_random_search(
+    system: ControlledSystem,
+    scaler: MinMaxScaler,
+    max_evaluations: int = 40,
+    rho: float = 2.0,
+    seed: int = 0,
+    pause_rule: Optional[PauseRule] = None,
+    collector: Optional[MetricsCollector] = None,
+) -> RandomSearchReport:
+    """Uniform random search with the shared convergence rule."""
+    if max_evaluations < 1:
+        raise ValueError("max_evaluations must be >= 1")
+    rng = np.random.default_rng(seed)
+    collector = collector or MetricsCollector()
+    adjust = AdjustFunction(system, scaler, collector)
+    rule = pause_rule or PauseRule()
+    report = RandomSearchReport()
+    start = system.time
+    box = scaler.scaled
+
+    for i in range(max_evaluations):
+        theta = box.lower + rng.uniform(size=box.dim) * box.ranges
+        result = adjust(theta, rho)
+        evaluated = evaluate_config(result, theta, i + 1, rho_cap=rho)
+        report.evaluations.append(evaluated)
+        rule.record(evaluated)
+        if rule.should_pause():
+            report.converged_at = i + 1
+            break
+
+    report.search_time = system.time - start
+    report.config_changes = system.config_changes
+    return report

@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+Run ``python -m repro <command>``:
+
+* ``run``       — NoStop on one workload, with a per-round trajectory and
+                  an optional JSON trace dump;
+* ``figure``    — regenerate one paper figure/table (fig2 fig3 fig5 fig6
+                  fig7 fig8 table2);
+* ``compare``   — SPSA vs BO vs annealing vs random search on one workload;
+* ``workloads`` — list available workloads and their paper rate bands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import format_table
+from repro.analysis.traces import ExperimentTrace
+from repro.datagen.rates import PAPER_RATE_BANDS, RATE_BAND_ALIASES
+from repro.workloads import WORKLOADS
+
+
+def _cmd_workloads(_args) -> int:
+    rows = []
+    for name in WORKLOADS:
+        band_key = RATE_BAND_ALIASES.get(name, name)
+        band = PAPER_RATE_BANDS.get(band_key)
+        band_str = f"[{band[0]:,} .. {band[1]:,}] rec/s" if band else "-"
+        rows.append((name, band_str))
+    print(format_table(["workload", "paper rate band"], rows,
+                       title="Available workloads"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.common import build_experiment, make_controller
+
+    setup = build_experiment(args.workload, seed=args.seed)
+    controller = make_controller(setup, seed=args.seed)
+    report = controller.run(args.rounds)
+
+    rows = []
+    for r in report.rounds:
+        rows.append((
+            r.round_index, r.phase, f"{r.batch_interval:.2f}",
+            r.num_executors,
+            f"{r.mean_processing_time:.2f}" if r.mean_processing_time else "-",
+        ))
+    print(format_table(
+        ["round", "phase", "interval (s)", "executors", "proc (s)"],
+        rows,
+        title=f"NoStop on {args.workload} (seed {args.seed})",
+    ))
+    best = controller.pause_rule.best_config()
+    print(f"\nfinal: interval={report.final_interval:.2f}s x "
+          f"{report.final_executors} executors "
+          f"(stable={best.stable}, delay~{best.end_to_end_delay:.2f}s)")
+    print(f"configuration changes: {report.config_changes}, "
+          f"resets: {report.resets}, "
+          f"paused at round: {report.first_pause_round}")
+
+    if args.trace_out:
+        trace = ExperimentTrace(
+            experiment=f"nostop-{args.workload}",
+            metadata={"seed": args.seed, "rounds": args.rounds},
+        )
+        trace.add_series("interval", [r.batch_interval for r in report.rounds])
+        trace.add_series("executors", [r.num_executors for r in report.rounds])
+        trace.add_series(
+            "processing_time",
+            [r.mean_processing_time for r in report.rounds],
+        )
+        trace.add_series("phase", [r.phase for r in report.rounds])
+        path = trace.save(args.trace_out)
+        print(f"trace written to {path}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    name = args.name.lower()
+    if name == "table2":
+        from repro.cluster import paper_cluster
+
+        cluster = paper_cluster()
+        rows = [
+            (n.node_id, f"{n.cpu.model} {n.cpu.clock_ghz}GHz",
+             n.disk.value.upper(), n.role.value.capitalize())
+            for n in cluster
+        ]
+        print(format_table(["Node ID", "CPU", "Disk", "Type"], rows,
+                           title="Table 2: list of cluster nodes"))
+        return 0
+    if name == "fig2":
+        from repro.experiments.fig2_batch_interval import run_fig2
+
+        print(run_fig2(seed=args.seed).to_table())
+        return 0
+    if name == "fig3":
+        from repro.experiments.fig3_executors import run_fig3
+
+        print(run_fig3(seed=args.seed).to_table())
+        return 0
+    if name == "fig5":
+        from repro.experiments.fig5_rates import run_fig5
+
+        print(run_fig5(seed=args.seed).to_table())
+        return 0
+    if name == "fig6":
+        from repro.experiments.fig6_evolution import run_fig6
+
+        for wname, trace in run_fig6(seed=args.seed).items():
+            print(trace.to_text())
+            best = trace.report.best
+            print(f"  settled: {best.batch_interval:.2f}s x "
+                  f"{best.num_executors} (stable={best.stable})\n")
+        return 0
+    if name == "fig7":
+        from repro.experiments.fig7_improvement import run_fig7
+
+        print(run_fig7(repeats=args.repeats, base_seed=args.seed).to_table())
+        return 0
+    if name == "fig8":
+        from repro.experiments.fig8_spsa_vs_bo import run_fig8
+
+        print(run_fig8(repeats=args.repeats, base_seed=args.seed).to_table())
+        return 0
+    print(f"unknown figure {args.name!r}; expected "
+          f"table2/fig2/fig3/fig5/fig6/fig7/fig8", file=sys.stderr)
+    return 2
+
+
+def _cmd_compare(args) -> int:
+    from repro.baselines.annealing import run_simulated_annealing
+    from repro.baselines.bayesian import run_bayesian_optimization
+    from repro.baselines.random_search import run_random_search
+    from repro.experiments.common import build_experiment, make_controller
+
+    rows = []
+
+    setup = build_experiment(args.workload, seed=args.seed)
+    controller = make_controller(setup, seed=args.seed)
+    report = controller.run(args.rounds)
+    best = controller.pause_rule.best_config()
+    rows.append(("SPSA (NoStop)", f"{best.end_to_end_delay:.2f}",
+                 report.adjust_calls_to_pause or controller.adjust.calls,
+                 "yes" if report.first_pause_round else "no"))
+
+    budget = 2 * args.rounds
+    setup = build_experiment(args.workload, seed=args.seed)
+    bo = run_bayesian_optimization(
+        setup.system, setup.scaler, max_evaluations=budget, seed=args.seed
+    )
+    rows.append(("Bayesian opt", f"{bo.final_delay:.2f}", bo.config_steps,
+                 "yes" if bo.converged_at else "no"))
+
+    setup = build_experiment(args.workload, seed=args.seed)
+    sa = run_simulated_annealing(
+        setup.system, setup.scaler, max_evaluations=budget, seed=args.seed
+    )
+    rows.append(("Simulated annealing", f"{sa.best().end_to_end_delay:.2f}",
+                 sa.config_steps, "yes" if sa.converged_at else "no"))
+
+    setup = build_experiment(args.workload, seed=args.seed)
+    rs = run_random_search(
+        setup.system, setup.scaler, max_evaluations=budget, seed=args.seed
+    )
+    rows.append(("Random search", f"{rs.best().end_to_end_delay:.2f}",
+                 len(rs.evaluations), "yes" if rs.converged_at else "no"))
+
+    print(format_table(
+        ["optimizer", "final delay (s)", "config steps", "converged"],
+        rows,
+        title=f"Optimizer comparison on {args.workload} (seed {args.seed})",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NoStop reproduction (ICPP 2021) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list workloads and rate bands")
+    p.set_defaults(func=_cmd_workloads)
+
+    p = sub.add_parser("run", help="run NoStop on a workload")
+    p.add_argument("--workload", default="wordcount", choices=sorted(WORKLOADS))
+    p.add_argument("--rounds", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace-out", default=None,
+                   help="write the run trajectory as JSON")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure/table")
+    p.add_argument("name", help="table2 | fig2 | fig3 | fig5 | fig6 | fig7 | fig8")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="repeats for fig7/fig8 (paper uses 5)")
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("compare", help="compare optimizers on one workload")
+    p.add_argument("--workload", default="linear_regression",
+                   choices=sorted(WORKLOADS))
+    p.add_argument("--rounds", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

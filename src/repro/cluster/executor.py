@@ -1,0 +1,76 @@
+"""Executor model.
+
+Executors are the unit of resource allocation that NoStop tunes.  In the
+paper's setup every executor gets 1 CPU core and 1 GB of memory (§6.2.1).
+Executors are launched onto a worker node, inherit its speed factor and
+disk penalty, and must be *initialized* (application jar shipped, JVM
+warmed) before their first task — which is why NoStop discards the first
+batch after every configuration change (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+#: Default executor sizing from the paper (§6.2.1).
+DEFAULT_EXECUTOR_CORES = 1
+DEFAULT_EXECUTOR_MEMORY_GB = 1.0
+
+
+@dataclass
+class Executor:
+    """A single executor process pinned to a node.
+
+    Attributes
+    ----------
+    executor_id:
+        Unique id assigned by the resource manager.
+    node:
+        Hosting worker node.
+    cores:
+        CPU cores owned by the executor; each core runs one task at a time.
+    memory_gb:
+        Memory reserved on the node.
+    launched_at:
+        Simulation time at which the executor was launched; used to model
+        the jar-shipping / initialization overhead on the first batch that
+        uses a freshly added executor.
+    initialized:
+        Flips to True once the executor has run its first task.
+    """
+
+    executor_id: int
+    node: "Node"
+    cores: int = DEFAULT_EXECUTOR_CORES
+    memory_gb: float = DEFAULT_EXECUTOR_MEMORY_GB
+    launched_at: float = 0.0
+    initialized: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"executor needs at least one core, got {self.cores}")
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory_gb must be positive, got {self.memory_gb}")
+
+    @property
+    def speed_factor(self) -> float:
+        """Per-core throughput of the hosting node."""
+        return self.node.speed_factor
+
+    @property
+    def io_penalty(self) -> float:
+        """I/O duration multiplier of the hosting node's disk."""
+        return self.node.io_penalty
+
+    def mark_initialized(self) -> None:
+        self.initialized = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Executor(id={self.executor_id}, node={self.node.node_id}, "
+            f"cores={self.cores}, init={self.initialized})"
+        )

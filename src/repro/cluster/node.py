@@ -1,0 +1,177 @@
+"""Cluster node model.
+
+The paper evaluates NoStop on a heterogeneous five-node testbed (Table 2):
+one master and four workers mixing I5-9400 / I5-10400 / Xeon Bronze 3204
+CPUs and SSD / HDD disks.  A node here is a passive resource description;
+executors (see :mod:`repro.cluster.executor`) are launched onto nodes and
+inherit the node's relative compute speed.
+
+Speed factors are expressed relative to a 1.0 baseline.  Task durations in
+the engine are divided by the speed factor of the node hosting the
+executor, so a 0.66-speed Xeon worker takes ~1.5x longer per task than an
+I5 worker — this is what makes the cluster *heterogeneous* from the
+optimizer's point of view, and NoStop must handle it transparently
+(paper contribution #5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class DiskType(enum.Enum):
+    """Persistent storage technology of a node.
+
+    Disk type matters for shuffle-heavy and output-heavy workloads
+    (e.g. Page Analyze writes results back to HDFS): HDD nodes apply a
+    multiplicative penalty to the I/O portion of a task.
+    """
+
+    SSD = "ssd"
+    HDD = "hdd"
+
+    @property
+    def io_penalty(self) -> float:
+        """Multiplier applied to the I/O fraction of task durations."""
+        return 1.0 if self is DiskType.SSD else 1.8
+
+
+class NodeRole(enum.Enum):
+    """Whether a node runs the driver (master) or hosts executors."""
+
+    MASTER = "master"
+    WORKER = "worker"
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A CPU model with a nominal clock and core count.
+
+    The ``speed_factor`` is the relative per-core throughput used by the
+    engine's task-duration model.  It is *not* simply the clock ratio:
+    the Xeon Bronze 3204 in the paper's testbed has both a lower clock
+    (1.9 GHz) and an older core design, so we fold both into one factor.
+    """
+
+    model: str
+    clock_ghz: float
+    cores: int
+    speed_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.cores <= 0:
+            raise ValueError(f"cores must be positive, got {self.cores}")
+        if self.speed_factor <= 0:
+            raise ValueError(f"speed_factor must be positive, got {self.speed_factor}")
+
+
+# CPU models from Table 2 of the paper, with speed factors normalized to
+# the I5-9400 master/worker baseline.
+I5_9400 = CpuSpec(model="I5-9400", clock_ghz=2.9, cores=6, speed_factor=1.0)
+I5_10400 = CpuSpec(model="I5-10400", clock_ghz=2.9, cores=12, speed_factor=1.05)
+XEON_BRONZE_3204 = CpuSpec(
+    model="Xeon Bronze 3204", clock_ghz=1.9, cores=6, speed_factor=0.66
+)
+
+
+@dataclass
+class Node:
+    """A physical machine in the cluster.
+
+    Parameters
+    ----------
+    node_id:
+        Unique integer identifier (Table 2 numbers nodes 1..5).
+    cpu:
+        CPU specification; ``cpu.cores`` bounds how many single-core
+        executors the node can host.
+    disk:
+        Disk technology, used for I/O penalties.
+    role:
+        Master nodes host the driver and, per the paper's standalone
+        deployment, do not run executors.
+    memory_gb:
+        Total memory available for executors.
+    """
+
+    node_id: int
+    cpu: CpuSpec
+    disk: DiskType = DiskType.SSD
+    role: NodeRole = NodeRole.WORKER
+    memory_gb: float = 16.0
+    _used_cores: int = field(default=0, repr=False)
+    _used_memory_gb: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0:
+            raise ValueError(f"memory_gb must be positive, got {self.memory_gb}")
+
+    # -- capacity accounting ------------------------------------------------
+
+    @property
+    def executor_capacity(self) -> int:
+        """How many 1-core executors this node could host in total."""
+        if self.role is NodeRole.MASTER:
+            return 0
+        return self.cpu.cores
+
+    @property
+    def free_cores(self) -> int:
+        return self.executor_capacity - self._used_cores
+
+    @property
+    def free_memory_gb(self) -> float:
+        return self.memory_gb - self._used_memory_gb
+
+    @property
+    def used_cores(self) -> int:
+        return self._used_cores
+
+    def can_host(self, cores: int, memory_gb: float) -> bool:
+        """Whether the node has room for an executor of the given size."""
+        if self.role is NodeRole.MASTER:
+            return False
+        return self.free_cores >= cores and self.free_memory_gb >= memory_gb
+
+    def allocate(self, cores: int, memory_gb: float) -> None:
+        """Reserve resources for an executor.
+
+        Raises
+        ------
+        RuntimeError
+            If the node does not have enough free cores or memory.
+        """
+        if not self.can_host(cores, memory_gb):
+            raise RuntimeError(
+                f"node {self.node_id} cannot host executor "
+                f"({cores} cores / {memory_gb} GB requested, "
+                f"{self.free_cores} cores / {self.free_memory_gb} GB free)"
+            )
+        self._used_cores += cores
+        self._used_memory_gb += memory_gb
+
+    def release(self, cores: int, memory_gb: float) -> None:
+        """Return resources previously reserved with :meth:`allocate`."""
+        if cores > self._used_cores or memory_gb > self._used_memory_gb + 1e-9:
+            raise RuntimeError(
+                f"node {self.node_id}: releasing more than allocated "
+                f"({cores} cores / {memory_gb} GB vs "
+                f"{self._used_cores} cores / {self._used_memory_gb} GB in use)"
+            )
+        self._used_cores -= cores
+        self._used_memory_gb -= memory_gb
+
+    # -- performance model --------------------------------------------------
+
+    @property
+    def speed_factor(self) -> float:
+        """Relative per-core compute throughput of this node."""
+        return self.cpu.speed_factor
+
+    @property
+    def io_penalty(self) -> float:
+        """Multiplier on the I/O fraction of tasks executed on this node."""
+        return self.disk.io_penalty

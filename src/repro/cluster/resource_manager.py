@@ -1,0 +1,183 @@
+"""Dynamic executor allocation.
+
+The resource manager plays the role of Spark's standalone master plus the
+dynamic-allocation hooks the paper added to Spark: NoStop asks for a target
+executor count at runtime and the manager launches or decommissions
+executors to meet it, spreading them across worker nodes round-robin (the
+same spreading behaviour as Spark standalone's default ``spreadOut``).
+
+Newly launched executors are uninitialized — the engine charges them a
+one-time startup cost on their first task, which surfaces in the first
+batch after a reconfiguration (the batch NoStop's metric collector
+discards, §5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cluster import Cluster
+from .executor import (
+    DEFAULT_EXECUTOR_CORES,
+    DEFAULT_EXECUTOR_MEMORY_GB,
+    Executor,
+)
+from .node import Node
+
+
+class InsufficientResourcesError(RuntimeError):
+    """Raised when the cluster cannot host the requested executor count."""
+
+
+class ResourceManager:
+    """Launch and decommission executors on a :class:`Cluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to manage.
+    executor_cores, executor_memory_gb:
+        Fixed per-executor sizing (the paper fixes 1 core / 1 GB and only
+        varies the *count*).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        executor_cores: int = DEFAULT_EXECUTOR_CORES,
+        executor_memory_gb: float = DEFAULT_EXECUTOR_MEMORY_GB,
+    ) -> None:
+        self.cluster = cluster
+        self.executor_cores = executor_cores
+        self.executor_memory_gb = executor_memory_gb
+        self._executors: Dict[int, Executor] = {}
+        self._next_id = 1
+        #: number of reconfigurations performed (for overhead accounting)
+        self.reconfigurations = 0
+        #: unplanned executor losses injected via :meth:`fail_executor`
+        self.executor_failures = 0
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def executors(self) -> List[Executor]:
+        """Live executors, in launch order."""
+        return [self._executors[k] for k in sorted(self._executors)]
+
+    @property
+    def executor_count(self) -> int:
+        return len(self._executors)
+
+    @property
+    def max_executors(self) -> int:
+        """Upper bound on executor count for this cluster and sizing.
+
+        This is the ``Max_Executors`` of the paper's configuration range
+        (§5.1), derived from cluster capacity and per-executor resources.
+        """
+        total = 0
+        for node in self.cluster.workers:
+            by_cores = node.executor_capacity // self.executor_cores
+            by_mem = int(node.memory_gb // self.executor_memory_gb)
+            total += min(by_cores, by_mem)
+        return total
+
+    @property
+    def total_cores(self) -> int:
+        return sum(e.cores for e in self._executors.values())
+
+    def newly_launched(self, since: float) -> List[Executor]:
+        """Executors launched at or after simulation time ``since``."""
+        return [e for e in self.executors if e.launched_at >= since]
+
+    # -- allocation -------------------------------------------------------
+
+    def _pick_node(self) -> Optional[Node]:
+        """Least-loaded worker that can host one more executor.
+
+        Ties break toward the fastest node, mirroring how a real
+        standalone master spreads executors over registered workers.
+        """
+        candidates = [
+            n
+            for n in self.cluster.workers
+            if n.can_host(self.executor_cores, self.executor_memory_gb)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (n.used_cores, -n.speed_factor))
+
+    def launch_executor(self, now: float = 0.0) -> Executor:
+        """Launch one executor on the least-loaded worker."""
+        node = self._pick_node()
+        if node is None:
+            raise InsufficientResourcesError(
+                f"cluster {self.cluster.name!r} cannot host another "
+                f"{self.executor_cores}-core/{self.executor_memory_gb}GB executor "
+                f"({self.executor_count} running, max {self.max_executors})"
+            )
+        node.allocate(self.executor_cores, self.executor_memory_gb)
+        executor = Executor(
+            executor_id=self._next_id,
+            node=node,
+            cores=self.executor_cores,
+            memory_gb=self.executor_memory_gb,
+            launched_at=now,
+        )
+        self._next_id += 1
+        self._executors[executor.executor_id] = executor
+        return executor
+
+    def remove_executor(self, executor_id: int) -> None:
+        """Decommission one executor and release its node resources."""
+        executor = self._executors.pop(executor_id, None)
+        if executor is None:
+            raise KeyError(f"no executor with id {executor_id}")
+        executor.node.release(executor.cores, executor.memory_gb)
+
+    def fail_executor(self, executor_id: Optional[int] = None) -> int:
+        """Kill one executor (crash injection); returns its id.
+
+        Unlike :meth:`remove_executor` this models an *unplanned* loss:
+        the pool silently shrinks until the next ``scale_to`` call
+        restores the target count — which NoStop's next configuration
+        application does automatically, making the scheme transparent to
+        infrastructure churn.
+        """
+        if not self._executors:
+            raise RuntimeError("no executors to fail")
+        if executor_id is None:
+            executor_id = max(self._executors)  # newest dies first
+        self.remove_executor(executor_id)
+        self.executor_failures += 1
+        return executor_id
+
+    def scale_to(self, target: int, now: float = 0.0) -> int:
+        """Adjust the executor count to ``target``; returns the delta.
+
+        Removal takes the most recently launched executors first (they are
+        least likely to hold cached state).  Raises
+        :class:`InsufficientResourcesError` if the target exceeds cluster
+        capacity.
+        """
+        if target < 0:
+            raise ValueError(f"target executor count must be >= 0, got {target}")
+        if target > self.max_executors:
+            raise InsufficientResourcesError(
+                f"target {target} exceeds cluster capacity {self.max_executors}"
+            )
+        delta = target - self.executor_count
+        if delta > 0:
+            for _ in range(delta):
+                self.launch_executor(now=now)
+        elif delta < 0:
+            victims = sorted(
+                self._executors.values(),
+                key=lambda e: (e.launched_at, e.executor_id),
+                reverse=True,
+            )[: -delta]
+            for v in victims:
+                self.remove_executor(v.executor_id)
+        if delta != 0:
+            self.reconfigurations += 1
+        return delta

@@ -1,0 +1,172 @@
+"""The Adjust function (Algorithm 2) and the controlled-system interface.
+
+Algorithm 2 is NoStop's only touchpoint with the running system: apply a
+configuration θ, wait for the listener to deliver enough clean batch
+metrics (§5.4), and return the penalized objective
+
+``G = batchInterval + ρ · max(0, batchProcessingTime − batchInterval)``.
+
+:class:`ControlledSystem` is the abstract surface Algorithm 2 needs —
+implemented by :class:`repro.core.system.SimulatedSparkSystem` here, and
+implementable against a real cluster's REST API in a production port
+(the paper's generality claim).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .bounds import MinMaxScaler
+from .metrics_collector import Measurement, MetricsCollector
+from .objective import penalized_objective
+from .pause import STABILITY_MARGIN
+
+
+class ControlledSystem(abc.ABC):
+    """What NoStop requires of the system under optimization."""
+
+    @abc.abstractmethod
+    def apply_configuration(
+        self,
+        batch_interval: float,
+        num_executors: int,
+        partitions: Optional[int] = None,
+    ) -> None:
+        """Table 1's ``changeConfigurations(θ)``: live reconfiguration.
+
+        ``partitions`` is the optional third tunable of the paper's
+        future-work extension ("SPSA is able to optimize multiple
+        parameters simultaneously without additional overhead", §7);
+        two-parameter systems may ignore it.
+        """
+
+    @abc.abstractmethod
+    def collect(self, collector: MetricsCollector) -> Measurement:
+        """Run the system forward until the collector yields a measurement
+        (Table 1's ``getSystemStatus`` loop)."""
+
+    @property
+    @abc.abstractmethod
+    def time(self) -> float:
+        """Current (simulation or wall-clock) time in seconds."""
+
+    @abc.abstractmethod
+    def observed_input_rate(self) -> float:
+        """Recent input data speed in records/second (for §5.5)."""
+
+    @property
+    @abc.abstractmethod
+    def config_changes(self) -> int:
+        """Total live configuration changes applied so far."""
+
+
+@dataclass(frozen=True)
+class AdjustResult:
+    """Outcome of one Adjust call: objective plus the raw measurement."""
+
+    objective: float
+    batch_interval: float
+    num_executors: int
+    measurement: Measurement
+    rho: float
+
+    @property
+    def stable(self) -> bool:
+        """Whether the measured mean respects the stability constraint."""
+        return self.measurement.mean_processing_time <= self.batch_interval
+
+
+def theta_to_configuration(
+    theta_scaled: Sequence[float], scaler: MinMaxScaler
+) -> tuple:
+    """Convert a scaled θ into an applicable configuration tuple.
+
+    Axis order is ``(batch interval, executors[, partitions])``.  The
+    batch interval is kept at millisecond resolution ("batch interval is
+    in unit of milliseconds", §4.2.1); executors and partitions are
+    integers.  The optional third axis is the paper's future-work
+    multi-parameter extension.
+    """
+    physical = scaler.to_physical(np.asarray(theta_scaled, dtype=float))
+    if not 2 <= len(physical) <= 3:
+        raise ValueError(
+            f"configuration space must have 2 or 3 axes, got {len(physical)}"
+        )
+    lo, hi = scaler.physical.lower, scaler.physical.upper
+    interval = round(float(physical[0]), 3)
+    interval = min(max(interval, float(lo[0])), float(hi[0]))
+    out = [interval]
+    for axis in range(1, len(physical)):
+        value = int(round(float(physical[axis])))
+        value = min(max(value, int(round(lo[axis]))), int(round(hi[axis])))
+        out.append(value)
+    return tuple(out)
+
+
+def evaluate_config(
+    result: "AdjustResult",
+    theta_scaled: Sequence[float],
+    iteration: int,
+    rho_cap: float = 2.0,
+    stability_margin: float = STABILITY_MARGIN,
+):
+    """Build the ranking record for one Adjust result.
+
+    Ranked at the penalty *cap* (not the ρ in force when measured) so
+    early low-ρ evaluations cannot outrank later ones, and with the
+    configuration's steady-state delay estimate (see
+    :mod:`repro.core.pause`).
+    """
+    from .pause import EvaluatedConfig, steady_state_delay
+
+    proc = result.measurement.mean_processing_time
+    ranking = penalized_objective(result.batch_interval, proc, rho_cap)
+    return EvaluatedConfig(
+        theta=tuple(float(v) for v in theta_scaled),
+        objective=ranking,
+        end_to_end_delay=steady_state_delay(result.batch_interval, proc),
+        iteration=iteration,
+        batch_interval=result.batch_interval,
+        num_executors=result.num_executors,
+        mean_processing_time=proc,
+        stable=proc <= result.batch_interval * (1.0 - stability_margin),
+    )
+
+
+class AdjustFunction:
+    """Callable implementing Algorithm 2 against a controlled system."""
+
+    def __init__(
+        self,
+        system: ControlledSystem,
+        scaler: MinMaxScaler,
+        collector: MetricsCollector,
+    ) -> None:
+        self.system = system
+        self.scaler = scaler
+        self.collector = collector
+        self.calls = 0
+
+    def __call__(self, theta_scaled: Sequence[float], rho: float) -> AdjustResult:
+        """Apply θ, measure, and return the objective (Algorithm 2)."""
+        config = theta_to_configuration(theta_scaled, self.scaler)
+        interval, executors = config[0], config[1]
+        partitions = config[2] if len(config) > 2 else None
+        self.system.apply_configuration(interval, executors, partitions=partitions)
+        self.collector.start_measurement()
+        measurement = self.system.collect(self.collector)
+        objective = penalized_objective(
+            interval, measurement.mean_processing_time, rho
+        )
+        self.calls += 1
+        return AdjustResult(
+            objective=objective,
+            batch_interval=interval,
+            num_executors=executors,
+            measurement=measurement,
+            rho=rho,
+        )

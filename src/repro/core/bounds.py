@@ -1,0 +1,146 @@
+"""Configuration-space bounds and scaling.
+
+§5.1: the feasible ranges are derived from cluster capacity (executors)
+and application requirements (batch interval), and "we apply a scale
+function (e.g., min-max normalization) to normalize parameters into the
+same range" — the paper maps both parameters to [1, 20] (§6.2.1).
+
+:class:`Box` implements ``checkBound`` (Table 1): clipping to the box.
+:class:`MinMaxScaler` maps between physical units (seconds, executor
+counts) and the common scaled range SPSA operates in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned feasible region with clipping projection."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    def __init__(self, lower: Sequence[float], upper: Sequence[float]) -> None:
+        lo = np.asarray(lower, dtype=float)
+        hi = np.asarray(upper, dtype=float)
+        if lo.shape != hi.shape or lo.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of equal length")
+        if np.any(lo >= hi):
+            raise ValueError(f"each lower bound must be < upper bound: {lo} vs {hi}")
+        object.__setattr__(self, "lower", lo)
+        object.__setattr__(self, "upper", hi)
+
+    @property
+    def dim(self) -> int:
+        return len(self.lower)
+
+    @property
+    def ranges(self) -> np.ndarray:
+        return self.upper - self.lower
+
+    def project(self, theta: Sequence[float]) -> np.ndarray:
+        """The ``checkBound(θ)`` of Table 1: clip into the box."""
+        t = np.asarray(theta, dtype=float)
+        if t.shape != self.lower.shape:
+            raise ValueError(
+                f"theta has dimension {t.shape}, box has {self.lower.shape}"
+            )
+        return np.clip(t, self.lower, self.upper)
+
+    def contains(self, theta: Sequence[float], atol: float = 1e-9) -> bool:
+        t = np.asarray(theta, dtype=float)
+        return bool(
+            np.all(t >= self.lower - atol) and np.all(t <= self.upper + atol)
+        )
+
+    def center(self) -> np.ndarray:
+        return (self.lower + self.upper) / 2.0
+
+
+class MinMaxScaler:
+    """Invertible affine map between a physical box and a scaled box.
+
+    SPSA steps live in the scaled box (all axes share one range, so one
+    gain ``a`` suits every parameter); configurations applied to the
+    system live in the physical box.
+    """
+
+    def __init__(self, physical: Box, scaled: Box) -> None:
+        if physical.dim != scaled.dim:
+            raise ValueError(
+                f"dimension mismatch: physical {physical.dim} vs scaled {scaled.dim}"
+            )
+        self.physical = physical
+        self.scaled = scaled
+
+    def to_scaled(self, theta_physical: Sequence[float]) -> np.ndarray:
+        t = np.asarray(theta_physical, dtype=float)
+        frac = (t - self.physical.lower) / self.physical.ranges
+        return self.scaled.lower + frac * self.scaled.ranges
+
+    def to_physical(self, theta_scaled: Sequence[float]) -> np.ndarray:
+        t = np.asarray(theta_scaled, dtype=float)
+        frac = (t - self.scaled.lower) / self.scaled.ranges
+        return self.physical.lower + frac * self.physical.ranges
+
+
+def paper_configuration_space(
+    max_executors: int = 20,
+    min_executors: int = 1,
+    min_interval: float = 1.0,
+    max_interval: float = 40.0,
+    scaled_range: tuple = (1.0, 20.0),
+) -> MinMaxScaler:
+    """The §6.2.1 configuration space.
+
+    Physical axes are ordered ``(batch interval seconds, executors)``;
+    both are scaled to ``scaled_range`` (default [1, 20]).
+    """
+    if min_executors < 1 or max_executors <= min_executors:
+        raise ValueError("need 1 <= min_executors < max_executors")
+    if min_interval <= 0 or max_interval <= min_interval:
+        raise ValueError("need 0 < min_interval < max_interval")
+    physical = Box(
+        [min_interval, float(min_executors)],
+        [max_interval, float(max_executors)],
+    )
+    lo, hi = scaled_range
+    scaled = Box([lo, lo], [hi, hi])
+    return MinMaxScaler(physical, scaled)
+
+
+def multi_parameter_space(
+    max_executors: int = 20,
+    min_executors: int = 1,
+    min_interval: float = 1.0,
+    max_interval: float = 40.0,
+    min_partitions: int = 8,
+    max_partitions: int = 120,
+    scaled_range: tuple = (1.0, 20.0),
+) -> MinMaxScaler:
+    """Three-axis configuration space: interval, executors, partitions.
+
+    Implements the paper's future-work extension (§7): "the SPSA
+    algorithm is able to optimize multiple parameters simultaneously
+    without additional overhead" — the per-stage partition count is the
+    natural third tunable (too few partitions starve executor cores, too
+    many pay task-dispatch overhead).
+    """
+    if min_executors < 1 or max_executors <= min_executors:
+        raise ValueError("need 1 <= min_executors < max_executors")
+    if min_interval <= 0 or max_interval <= min_interval:
+        raise ValueError("need 0 < min_interval < max_interval")
+    if min_partitions < 1 or max_partitions <= min_partitions:
+        raise ValueError("need 1 <= min_partitions < max_partitions")
+    physical = Box(
+        [min_interval, float(min_executors), float(min_partitions)],
+        [max_interval, float(max_executors), float(max_partitions)],
+    )
+    lo, hi = scaled_range
+    scaled = Box([lo, lo, lo], [hi, hi, hi])
+    return MinMaxScaler(physical, scaled)

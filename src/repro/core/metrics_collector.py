@@ -1,0 +1,129 @@
+"""Metric-collection protocol (§5.4).
+
+Two rules govern how NoStop turns raw batch reports into one measurement:
+
+1. "The first processed batch after changing configurations is not
+   considered" — reconfiguration triggers jar shipping and executor
+   initialization, inflating that batch's processing time.
+2. "System metrics are collected for a certain number of batches, and
+   the average processing time is calculated" — with an
+   *additive-increase* window while the system sits at an optimum (one
+   extra batch per newly completed batch, up to a cap), so a temporary
+   wobble does not needlessly restart optimization, while a real change
+   is still noticed within the capped window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.streaming.metrics import BatchInfo
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Aggregate over one measurement window of batches."""
+
+    mean_processing_time: float
+    mean_end_to_end_delay: float
+    mean_scheduling_delay: float
+    mean_records: float
+    batches_used: int
+    skipped: int
+    std_processing_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batches_used < 1:
+            raise ValueError("a measurement needs at least one batch")
+
+
+class MetricsCollector:
+    """Build :class:`Measurement` objects from listener batch reports."""
+
+    def __init__(
+        self,
+        window: int = 3,
+        max_window: int = 12,
+        skip_first_after_reconfig: bool = True,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if max_window < window:
+            raise ValueError(
+                f"max_window ({max_window}) must be >= window ({window})"
+            )
+        self.base_window = window
+        self.max_window = max_window
+        self.skip_first_after_reconfig = skip_first_after_reconfig
+        self._window = window
+        self._buffer: List[BatchInfo] = []
+        self.total_skipped = 0
+
+    # -- window management (additive increase, §5.4) -----------------------
+
+    @property
+    def window(self) -> int:
+        """Current number of batches required per measurement."""
+        return self._window
+
+    def relax_window(self) -> int:
+        """Additive increase: one more batch per completed batch at the
+        optimum, capped at ``max_window``."""
+        self._window = min(self._window + 1, self.max_window)
+        return self._window
+
+    def reset_window(self) -> None:
+        """Shrink back to the base window (on reset / instability)."""
+        self._window = self.base_window
+        self._buffer.clear()
+
+    def start_measurement(self) -> None:
+        """Discard buffered batches from a previous configuration.
+
+        A measurement window must cover exactly one configuration;
+        without this, a window left half-full by one probe would blend
+        into the next probe's average.
+        """
+        self._buffer.clear()
+
+    # -- ingestion ----------------------------------------------------------
+
+    def offer(self, info: BatchInfo) -> Optional[Measurement]:
+        """Feed one completed batch; returns a measurement when the
+        window fills, else None."""
+        if self.skip_first_after_reconfig and info.first_after_reconfig:
+            self.total_skipped += 1
+            return None
+        self._buffer.append(info)
+        if len(self._buffer) < self._window:
+            return None
+        measurement = self.summarize(self._buffer)
+        self._buffer.clear()
+        return measurement
+
+    @property
+    def pending(self) -> int:
+        """Batches buffered toward the next measurement."""
+        return len(self._buffer)
+
+    def summarize(self, batches: List[BatchInfo]) -> Measurement:
+        """Aggregate a list of batches into one measurement."""
+        if not batches:
+            raise ValueError("cannot summarize zero batches")
+        proc = np.array([b.processing_time for b in batches])
+        return Measurement(
+            mean_processing_time=float(np.mean(proc)),
+            mean_end_to_end_delay=float(
+                np.mean([b.end_to_end_delay for b in batches])
+            ),
+            mean_scheduling_delay=float(
+                np.mean([b.scheduling_delay for b in batches])
+            ),
+            mean_records=float(np.mean([b.records for b in batches])),
+            batches_used=len(batches),
+            skipped=self.total_skipped,
+            std_processing_time=float(np.std(proc)),
+        )

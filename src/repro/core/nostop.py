@@ -1,0 +1,354 @@
+"""The NoStop controller (Algorithm 1 + the §5 operational rules).
+
+Ties together every piece of the scheme:
+
+* the :class:`~repro.core.spsa.SPSAOptimizer` in min–max-scaled
+  configuration space (§5.1–§5.2),
+* the :class:`~repro.core.adjust.AdjustFunction` performing live
+  perturbed measurements (Algorithm 2),
+* the ρ penalty schedule (Eq. 3),
+* the impeded-progress :class:`~repro.core.pause.PauseRule` (§5.3.5),
+* the additive-increase :class:`~repro.core.metrics_collector.MetricsCollector`
+  window (§5.4),
+* the :class:`~repro.core.rate_monitor.RateMonitor` reset trigger (§5.5).
+
+Each call to :meth:`NoStopController.run_round` performs one control
+round — an SPSA iteration (two live configuration changes) while
+optimizing, or one monitoring window while paused at the best known
+configuration.  The run history carries everything needed to draw the
+paper's Fig. 6 evolution plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .adjust import AdjustFunction, AdjustResult, ControlledSystem
+from .bounds import MinMaxScaler
+from .gains import GainSchedule, paper_gains
+from .metrics_collector import Measurement, MetricsCollector
+from .objective import RhoSchedule
+from .pause import EvaluatedConfig, PauseRule
+from .perturbation import PerturbationGenerator
+from .rate_monitor import RateMonitor
+from .spsa import SPSAOptimizer
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One control round of NoStop (optimization, monitoring, or reset)."""
+
+    round_index: int
+    k: int
+    phase: str
+    """``"optimize"``, ``"paused"``, or ``"reset"``."""
+    sim_time: float
+    rho: float
+    theta_scaled: np.ndarray
+    """Current estimate x after this round (scaled space)."""
+    batch_interval: float
+    num_executors: int
+    """Physical configuration corresponding to ``theta_scaled``."""
+    plus_result: Optional[AdjustResult] = None
+    minus_result: Optional[AdjustResult] = None
+    monitor: Optional[Measurement] = None
+
+    @property
+    def mean_delay(self) -> Optional[float]:
+        """Representative end-to-end delay observed this round."""
+        if self.monitor is not None:
+            return self.monitor.mean_end_to_end_delay
+        values = [
+            r.measurement.mean_end_to_end_delay
+            for r in (self.plus_result, self.minus_result)
+            if r is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+    @property
+    def mean_processing_time(self) -> Optional[float]:
+        if self.monitor is not None:
+            return self.monitor.mean_processing_time
+        values = [
+            r.measurement.mean_processing_time
+            for r in (self.plus_result, self.minus_result)
+            if r is not None
+        ]
+        return sum(values) / len(values) if values else None
+
+
+@dataclass
+class NoStopReport:
+    """Outcome of a NoStop run."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    resets: int = 0
+    first_pause_round: Optional[int] = None
+    first_pause_time: Optional[float] = None
+    adjust_calls_to_pause: Optional[int] = None
+    config_changes: int = 0
+    final_interval: float = 0.0
+    final_executors: int = 0
+    best: Optional[EvaluatedConfig] = None
+
+    @property
+    def search_time(self) -> Optional[float]:
+        """Simulated seconds from start to first pause (Fig. 8 metric)."""
+        return self.first_pause_time
+
+    def optimization_rounds(self) -> List[RoundRecord]:
+        return [r for r in self.rounds if r.phase == "optimize"]
+
+    def paused_rounds(self) -> List[RoundRecord]:
+        return [r for r in self.rounds if r.phase == "paused"]
+
+
+class NoStopController:
+    """Online configuration optimizer for a controlled streaming system."""
+
+    def __init__(
+        self,
+        system: ControlledSystem,
+        scaler: MinMaxScaler,
+        gains: Optional[GainSchedule] = None,
+        theta_initial_scaled: Optional[Sequence[float]] = None,
+        perturbation: Optional[PerturbationGenerator] = None,
+        pause_rule: Optional[PauseRule] = None,
+        rate_monitor: Optional[RateMonitor] = None,
+        collector: Optional[MetricsCollector] = None,
+        rho_schedule: Optional[RhoSchedule] = None,
+        seed: int = 0,
+        stability_slack: float = 1.05,
+    ) -> None:
+        self.system = system
+        self.scaler = scaler
+        self.collector = collector or MetricsCollector()
+        self.adjust = AdjustFunction(system, scaler, self.collector)
+        theta0 = (
+            np.asarray(theta_initial_scaled, dtype=float)
+            if theta_initial_scaled is not None
+            else scaler.scaled.center()
+        )
+        self.spsa = SPSAOptimizer(
+            gains=gains or paper_gains(),
+            box=scaler.scaled,
+            theta_initial=theta0,
+            perturbation=perturbation,
+            seed=seed,
+        )
+        self.pause_rule = pause_rule or PauseRule()
+        self.rate_monitor = rate_monitor or RateMonitor()
+        self.rho = rho_schedule or RhoSchedule()
+        if stability_slack < 1.0:
+            raise ValueError("stability_slack must be >= 1.0")
+        self.stability_slack = stability_slack
+
+        self.paused = False
+        self._rounds_run = 0
+        self._start_time = system.time
+        self.report = NoStopReport()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _current_configuration(self) -> tuple:
+        """(interval, executors) of the current estimate (extra axes of a
+        multi-parameter space are dropped from the round record)."""
+        from .adjust import theta_to_configuration
+
+        return theta_to_configuration(self.spsa.theta, self.scaler)[:2]
+
+    def _observe_rate(self) -> None:
+        self.rate_monitor.observe(self.system.observed_input_rate())
+
+    def _record_evaluation(self, result: AdjustResult, theta: np.ndarray) -> None:
+        from .adjust import evaluate_config
+
+        self.pause_rule.record(
+            evaluate_config(result, theta, self.spsa.k, rho_cap=self.rho.cap)
+        )
+
+    def _do_reset(self) -> RoundRecord:
+        """§5.5 restart: reset k, x, ρ, pause history, and window."""
+        self.spsa.reset()
+        self.rho.reset()
+        self.pause_rule.reset()
+        self.collector.reset_window()
+        self.rate_monitor.acknowledge_reset()
+        self.paused = False
+        self.report.resets += 1
+        interval, executors = self._current_configuration()
+        return RoundRecord(
+            round_index=self._rounds_run,
+            k=self.spsa.k,
+            phase="reset",
+            sim_time=self.system.time,
+            rho=self.rho.value,
+            theta_scaled=self.spsa.theta.copy(),
+            batch_interval=interval,
+            num_executors=executors,
+        )
+
+    # -- control rounds ------------------------------------------------------
+
+    def run_round(self) -> RoundRecord:
+        """Execute one control round and return its record."""
+        self._rounds_run += 1
+        if self.rate_monitor.need_reset():
+            record = self._do_reset()
+        elif self.paused:
+            record = self._monitor_round()
+        else:
+            record = self._optimize_round()
+        self.report.rounds.append(record)
+        return record
+
+    def _optimize_round(self) -> RoundRecord:
+        theta_plus, theta_minus, delta, c_k = self.spsa.propose()
+        plus = self.adjust(theta_plus, self.rho.value)
+        self._observe_rate()
+        minus = self.adjust(theta_minus, self.rho.value)
+        self._observe_rate()
+        self.spsa.apply_measurements(
+            theta_plus, theta_minus, delta, c_k, plus.objective, minus.objective
+        )
+        self._record_evaluation(plus, theta_plus)
+        self._record_evaluation(minus, theta_minus)
+        self.rho.step()
+
+        if self.pause_rule.should_pause():
+            self._enter_pause()
+
+        interval, executors = self._current_configuration()
+        return RoundRecord(
+            round_index=self._rounds_run,
+            k=self.spsa.k,
+            phase="optimize",
+            sim_time=self.system.time,
+            rho=self.rho.value,
+            theta_scaled=self.spsa.theta.copy(),
+            batch_interval=interval,
+            num_executors=executors,
+            plus_result=plus,
+            minus_result=minus,
+        )
+
+    def _enter_pause(self) -> None:
+        """Stop optimizing; run at the best configuration found."""
+        self.paused = True
+        best = self.pause_rule.best_config()
+        from .adjust import theta_to_configuration
+
+        config = theta_to_configuration(np.asarray(best.theta), self.scaler)
+        self.system.apply_configuration(
+            config[0], config[1],
+            partitions=config[2] if len(config) > 2 else None,
+        )
+        if self.report.first_pause_round is None:
+            self.report.first_pause_round = self._rounds_run
+            self.report.first_pause_time = self.system.time - self._start_time
+            self.report.adjust_calls_to_pause = self.adjust.calls
+
+    def _monitor_round(self) -> RoundRecord:
+        """One monitoring window while paused at the best configuration."""
+        best = self.pause_rule.best_config()
+        from .adjust import theta_to_configuration
+
+        config = theta_to_configuration(np.asarray(best.theta), self.scaler)
+        interval, executors = config[0], config[1]
+        measurement = self.system.collect(self.collector)
+        self._observe_rate()
+        # Fold the monitoring window back into the parked configuration's
+        # evaluation history: a configuration that ranked best off one
+        # lucky probe window is corrected by its own steady-state
+        # behaviour (the pause rule averages repeated measurements).
+        from .objective import penalized_objective
+        from .pause import steady_state_delay
+
+        self.pause_rule.record(
+            EvaluatedConfig(
+                theta=best.theta,
+                objective=penalized_objective(
+                    interval, measurement.mean_processing_time, self.rho.cap
+                ),
+                end_to_end_delay=steady_state_delay(
+                    interval, measurement.mean_processing_time
+                ),
+                iteration=self.spsa.k,
+                batch_interval=interval,
+                num_executors=executors,
+                mean_processing_time=measurement.mean_processing_time,
+                stable=measurement.mean_processing_time <= interval,
+            )
+        )
+        # §5.4 additive increase: relax the window while at the optimum.
+        self.collector.relax_window()
+        # Resume optimization if the system turned unstable at the optimum.
+        if measurement.mean_processing_time > interval * self.stability_slack:
+            self.paused = False
+            self.collector.reset_window()
+        return RoundRecord(
+            round_index=self._rounds_run,
+            k=self.spsa.k,
+            phase="paused",
+            sim_time=self.system.time,
+            rho=self.rho.value,
+            theta_scaled=np.asarray(best.theta, dtype=float),
+            batch_interval=interval,
+            num_executors=executors,
+            monitor=measurement,
+        )
+
+    # -- full runs -----------------------------------------------------------
+
+    def confirm_best(self, max_confirmations: int = 4) -> None:
+        """Re-measure singleton winners before trusting them.
+
+        With dozens of noisy two-to-three-batch probe windows, the
+        minimum-objective configuration is biased toward lucky
+        measurements (winner's curse).  Re-measuring the current best
+        until it has at least two windows — demoting it if the average
+        no longer wins — makes the reported final configuration honest.
+        """
+        if max_confirmations < 0:
+            raise ValueError("max_confirmations must be >= 0")
+        from .adjust import evaluate_config
+
+        for _ in range(max_confirmations):
+            if not self.pause_rule.evaluations:
+                return
+            best = self.pause_rule.best_config()
+            if self.pause_rule.measurement_count(best.theta) >= 2:
+                return
+            theta = np.asarray(best.theta, dtype=float)
+            result = self.adjust(theta, self.rho.cap)
+            self.pause_rule.record(
+                evaluate_config(result, theta, self.spsa.k, rho_cap=self.rho.cap)
+            )
+
+    def run(self, rounds: int, confirm: bool = True) -> NoStopReport:
+        """Run ``rounds`` control rounds and finalize the report."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        for _ in range(rounds):
+            self.run_round()
+        if confirm:
+            self.confirm_best()
+        self.report.config_changes = self.system.config_changes
+        if self.pause_rule.evaluations:
+            best = self.pause_rule.best_config()
+            self.report.best = best
+            from .adjust import theta_to_configuration
+
+            interval, executors = theta_to_configuration(
+                np.asarray(best.theta), self.scaler
+            )[:2]
+            self.report.final_interval = interval
+            self.report.final_executors = executors
+        else:
+            interval, executors = self._current_configuration()
+            self.report.final_interval = interval
+            self.report.final_executors = executors
+        return self.report

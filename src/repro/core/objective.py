@@ -1,0 +1,68 @@
+"""The penalized SSPO objective (Eq. 3) and the ρ schedule.
+
+The constrained problem "minimize batch interval subject to
+interval >= processing time" becomes the unconstrained
+
+.. math::
+
+    G(\\theta) = BatchInterval + \\rho \\cdot \\max(0,
+        BatchProcessingTime - BatchInterval)
+
+where ρ starts small (large early gain sequences would otherwise produce
+wild gradients off the penalty cliff) and grows by 0.1 per iteration up
+to a cap of 2 (Algorithm 1), so late iterations firmly respect the
+stability constraint without drowning the interval-minimization goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def penalized_objective(
+    batch_interval: float, processing_time: float, rho: float
+) -> float:
+    """Evaluate Eq. 3 for one measurement."""
+    if batch_interval <= 0:
+        raise ValueError(f"batch_interval must be positive, got {batch_interval}")
+    if processing_time < 0:
+        raise ValueError(f"processing_time must be >= 0, got {processing_time}")
+    if rho < 0:
+        raise ValueError(f"rho must be >= 0, got {rho}")
+    return batch_interval + rho * max(0.0, processing_time - batch_interval)
+
+
+@dataclass
+class RhoSchedule:
+    """Additive-increase-to-cap penalty coefficient (Algorithm 1).
+
+    ``rho = 1``, then ``rho = min(rho + 0.1, 2)`` once per iteration.
+    """
+
+    initial: float = 1.0
+    increment: float = 0.1
+    cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.initial < 0:
+            raise ValueError("initial rho must be >= 0")
+        if self.increment < 0:
+            raise ValueError("increment must be >= 0")
+        if self.cap < self.initial:
+            raise ValueError(
+                f"cap {self.cap} must be >= initial {self.initial}"
+            )
+        self._value = self.initial
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def step(self) -> float:
+        """Advance the schedule one iteration; returns the new ρ."""
+        self._value = min(self._value + self.increment, self.cap)
+        return self._value
+
+    def reset(self) -> None:
+        """Return to the initial ρ (used on an optimization restart)."""
+        self._value = self.initial

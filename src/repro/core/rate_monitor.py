@@ -1,0 +1,76 @@
+"""Input-rate change detection (§5.5).
+
+"We set a threshold for input data speed variation threshold_speed.  If
+the standard deviation of the recent input data speed is greater than
+this threshold, it triggers NoStop to reset the coefficients and restart
+the optimization process."
+
+The monitor keeps a sliding window of observed per-batch input rates;
+:meth:`RateMonitor.need_reset` is Table 1's ``needResetCoefficient()``.
+The threshold is naturally expressed *relative* to the mean rate (a 10k
+records/s swing is a surge for logistic regression but noise for Page
+Analyze), with an absolute mode for ablation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+import numpy as np
+
+
+class RateMonitor:
+    """Sliding-window standard-deviation trigger on input rates."""
+
+    def __init__(
+        self,
+        threshold: float = 0.25,
+        window: int = 12,
+        relative: bool = True,
+        min_samples: int = 4,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not (2 <= min_samples <= window):
+            raise ValueError("need 2 <= min_samples <= window")
+        self.threshold = threshold
+        self.relative = relative
+        self.min_samples = min_samples
+        self._rates: Deque[float] = deque(maxlen=window)
+        self.resets_triggered = 0
+
+    def observe(self, rate: float) -> None:
+        """Record one observed input rate (records/second)."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._rates.append(rate)
+
+    @property
+    def samples(self) -> int:
+        return len(self._rates)
+
+    def current_std(self) -> float:
+        """Standard deviation of the recent input speed (possibly
+        normalized by the mean when ``relative``)."""
+        if len(self._rates) < 2:
+            return 0.0
+        arr = np.array(self._rates)
+        std = float(np.std(arr))
+        if self.relative:
+            mean = float(np.mean(arr))
+            return std / mean if mean > 0 else 0.0
+        return std
+
+    def need_reset(self) -> bool:
+        """Table 1's ``needResetCoefficient()``."""
+        if len(self._rates) < self.min_samples:
+            return False
+        return self.current_std() > self.threshold
+
+    def acknowledge_reset(self) -> None:
+        """Clear the window after a reset so one surge fires one restart."""
+        self.resets_triggered += 1
+        self._rates.clear()

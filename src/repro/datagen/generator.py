@@ -1,0 +1,103 @@
+"""External streaming data generator.
+
+Binds a rate trace, a record synthesizer, and a Kafka producer into the
+"streaming data generator [deployed] outside the cluster, which sends
+data to Kafka Brokers at varying data rates" of §6.1.
+
+Counts always flow through Kafka (cheap, segment-based); payloads are
+synthesized lazily via :meth:`DataGenerator.sample_payloads` so workload
+kernels can run on representative records without materializing millions
+of objects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.kafka.producer import RateControlledProducer
+from repro.kafka.topic import Topic
+
+from . import records as rec
+from .rates import RateTrace
+
+
+class DataGenerator:
+    """Drive a Kafka topic from a rate trace with typed payloads.
+
+    Parameters
+    ----------
+    topic:
+        Destination topic.
+    trace:
+        Arrival-rate trace (records/second).
+    payload_kind:
+        One of ``"labeled_points"``, ``"regression_points"``, ``"text"``,
+        ``"nginx_logs"`` — selects the synthesizer used by
+        :meth:`sample_payloads`.
+    seed:
+        Seed for payload synthesis.
+    tick:
+        Producer tick in seconds.
+    """
+
+    PAYLOAD_KINDS = ("labeled_points", "regression_points", "text", "nginx_logs")
+
+    def __init__(
+        self,
+        topic: Topic,
+        trace: RateTrace,
+        payload_kind: str = "text",
+        seed: int = 0,
+        tick: float = 1.0,
+        rate_cap: Optional[float] = None,
+    ) -> None:
+        if payload_kind not in self.PAYLOAD_KINDS:
+            raise ValueError(
+                f"unknown payload_kind {payload_kind!r}; "
+                f"expected one of {self.PAYLOAD_KINDS}"
+            )
+        self.producer = RateControlledProducer(
+            topic, trace, tick=tick, rate_cap=rate_cap
+        )
+        self.payload_kind = payload_kind
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def trace(self) -> RateTrace:
+        return self.producer.trace
+
+    def advance_to(self, t: float) -> int:
+        """Produce all records implied by the trace up to time ``t``."""
+        return self.producer.produce_until(t)
+
+    def set_rate_cap(self, cap: Optional[float]) -> None:
+        self.producer.set_rate_cap(cap)
+
+    def sample_payloads(self, n: int, dim: int = 10) -> Sequence:
+        """Synthesize ``n`` payloads of this generator's kind."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if self.payload_kind == "labeled_points":
+            return rec.make_labeled_points(n, dim, self._rng, binary=True)
+        if self.payload_kind == "regression_points":
+            return rec.make_labeled_points(n, dim, self._rng, binary=False)
+        if self.payload_kind == "text":
+            return rec.make_text_lines(n, self._rng)
+        return rec.make_nginx_log_lines(n, self._rng)
+
+
+def recent_rate_samples(
+    trace: RateTrace, now: float, window: float = 30.0, dt: float = 1.0
+) -> List[float]:
+    """Rate samples over the trailing ``window`` seconds.
+
+    NoStop's rate monitor (§5.5) computes the standard deviation of the
+    "recent input data speed" from samples like these.
+    """
+    if window <= 0 or dt <= 0:
+        raise ValueError("window and dt must be positive")
+    start = max(0.0, now - window)
+    ts = np.arange(start, now, dt)
+    return [trace.rate(float(t)) for t in ts]

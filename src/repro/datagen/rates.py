@@ -1,0 +1,245 @@
+"""Input data-rate traces.
+
+The paper evaluates NoStop under *time-varying* input rates: the external
+data generator "sends data items at a random rate within a certain range"
+(§6.2.2, Fig. 5), with per-workload bands of [7k,13k] (LR), [80k,120k]
+(LinReg), [110k,190k] (WordCount) and [170k,230k] (Page Analyze) records
+per second.  Rate traces here are deterministic functions of time given a
+seed, so experiments are reproducible; all rates are in records/second.
+
+Traces compose: :class:`SpikeRate` wraps another trace to inject traffic
+surges (the E-commerce-promotion scenario of §5.5 that triggers NoStop's
+coefficient reset).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+class RateTrace(abc.ABC):
+    """A records-per-second arrival rate as a function of time."""
+
+    @abc.abstractmethod
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate at simulation time ``t`` (>= 0)."""
+
+    def records_between(self, t0: float, t1: float) -> int:
+        """Number of records arriving in ``[t0, t1)``.
+
+        Default implementation integrates the (piecewise-constant) rate at
+        a fine step; subclasses with closed forms override this.
+        """
+        if t1 < t0:
+            raise ValueError(f"t1 ({t1}) must be >= t0 ({t0})")
+        if t1 == t0:
+            return 0
+        step = 0.25
+        n = max(1, int(math.ceil((t1 - t0) / step)))
+        edges = np.linspace(t0, t1, n + 1)
+        mids = (edges[:-1] + edges[1:]) / 2.0
+        rates = np.array([self.rate(float(m)) for m in mids])
+        return int(round(float(np.sum(rates * np.diff(edges)))))
+
+    def mean_rate(self, horizon: float) -> float:
+        """Average rate over ``[0, horizon)``."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return self.records_between(0.0, horizon) / horizon
+
+
+@dataclass(frozen=True)
+class ConstantRate(RateTrace):
+    """Fixed arrival rate — the unrealistic case prior work assumes."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"rate must be >= 0, got {self.value}")
+
+    def rate(self, t: float) -> float:
+        return self.value
+
+    def records_between(self, t0: float, t1: float) -> int:
+        if t1 < t0:
+            raise ValueError(f"t1 ({t1}) must be >= t0 ({t0})")
+        return int(round(self.value * (t1 - t0)))
+
+
+class UniformRandomRate(RateTrace):
+    """Piecewise-constant rate resampled uniformly in ``[lo, hi]``.
+
+    This is the paper's §6.2.2 generator: every ``hold`` seconds a new
+    rate is drawn uniformly at random within the band.  Draws are keyed by
+    segment index so that ``rate(t)`` is a pure function of ``t``.
+    """
+
+    def __init__(self, lo: float, hi: float, hold: float = 10.0, seed: int = 0) -> None:
+        if lo < 0 or hi < lo:
+            raise ValueError(f"need 0 <= lo <= hi, got lo={lo}, hi={hi}")
+        if hold <= 0:
+            raise ValueError(f"hold must be positive, got {hold}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.hold = float(hold)
+        self.seed = int(seed)
+
+    def _segment_rate(self, idx: int) -> float:
+        rng = np.random.default_rng((self.seed, idx))
+        return float(rng.uniform(self.lo, self.hi))
+
+    def rate(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        return self._segment_rate(int(t // self.hold))
+
+    def records_between(self, t0: float, t1: float) -> int:
+        if t1 < t0:
+            raise ValueError(f"t1 ({t1}) must be >= t0 ({t0})")
+        total = 0.0
+        i0 = int(t0 // self.hold)
+        i1 = int(math.ceil(t1 / self.hold))
+        for idx in range(i0, max(i1, i0 + 1)):
+            seg_start = idx * self.hold
+            seg_end = seg_start + self.hold
+            overlap = min(t1, seg_end) - max(t0, seg_start)
+            if overlap > 0:
+                total += overlap * self._segment_rate(idx)
+        return int(round(total))
+
+
+@dataclass(frozen=True)
+class StepRate(RateTrace):
+    """Rate that jumps between levels at fixed boundaries.
+
+    ``levels`` is a sequence of ``(start_time, rate)`` pairs sorted by
+    start time; the first pair must start at 0.
+    """
+
+    levels: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("levels must be non-empty")
+        starts = [s for s, _ in self.levels]
+        if starts[0] != 0:
+            raise ValueError("first level must start at t=0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("level start times must be strictly increasing")
+        if any(r < 0 for _, r in self.levels):
+            raise ValueError("rates must be >= 0")
+
+    @staticmethod
+    def of(*levels: Tuple[float, float]) -> "StepRate":
+        return StepRate(tuple(levels))
+
+    def rate(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        current = self.levels[0][1]
+        for start, r in self.levels:
+            if t >= start:
+                current = r
+            else:
+                break
+        return current
+
+
+@dataclass(frozen=True)
+class SineRate(RateTrace):
+    """Smooth diurnal-style oscillation around a base rate."""
+
+    base: float
+    amplitude: float
+    period: float
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError("base must be >= 0")
+        if self.amplitude < 0 or self.amplitude > self.base:
+            raise ValueError("need 0 <= amplitude <= base (rates must stay >= 0)")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def rate(self, t: float) -> float:
+        return self.base + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+
+
+@dataclass(frozen=True)
+class SpikeRate(RateTrace):
+    """Wrap a base trace with multiplicative surges in given windows.
+
+    Models the "surges in traffic (e.g., E-commerce promotion, spike
+    activities)" of §5.5 that must trigger NoStop's coefficient reset.
+    ``spikes`` is a tuple of ``(start, end, multiplier)`` windows.
+    """
+
+    base: RateTrace
+    spikes: Tuple[Tuple[float, float, float], ...]
+
+    def __post_init__(self) -> None:
+        for start, end, mult in self.spikes:
+            if end <= start:
+                raise ValueError(f"spike window [{start}, {end}) is empty")
+            if mult <= 0:
+                raise ValueError(f"spike multiplier must be positive, got {mult}")
+
+    def rate(self, t: float) -> float:
+        r = self.base.rate(t)
+        for start, end, mult in self.spikes:
+            if start <= t < end:
+                r *= mult
+        return r
+
+
+class TraceRate(RateTrace):
+    """Replay a recorded rate series (piecewise constant at ``dt``)."""
+
+    def __init__(self, samples: Sequence[float], dt: float = 1.0) -> None:
+        if not len(samples):
+            raise ValueError("samples must be non-empty")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        arr = np.asarray(samples, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError("rates must be >= 0")
+        self._samples = arr
+        self.dt = float(dt)
+
+    def rate(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        idx = min(int(t // self.dt), len(self._samples) - 1)
+        return float(self._samples[idx])
+
+
+#: The paper's per-workload rate bands (records/second), Fig. 5.
+PAPER_RATE_BANDS = {
+    "logistic_regression": (7_000, 13_000),
+    "linear_regression": (80_000, 120_000),
+    "wordcount": (110_000, 190_000),
+    "page_analyze": (170_000, 230_000),
+}
+
+
+#: Derived workloads reuse their base workload's paper band.
+RATE_BAND_ALIASES = {"windowed_wordcount": "wordcount"}
+
+
+def paper_rate_trace(workload: str, seed: int = 0, hold: float = 10.0) -> UniformRandomRate:
+    """The §6.2.2 uniform-random-band trace for a named paper workload."""
+    name = RATE_BAND_ALIASES.get(workload, workload)
+    try:
+        lo, hi = PAPER_RATE_BANDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {workload!r}; expected one of "
+            f"{sorted(PAPER_RATE_BANDS) + sorted(RATE_BAND_ALIASES)}"
+        ) from None
+    return UniformRandomRate(lo, hi, hold=hold, seed=seed)

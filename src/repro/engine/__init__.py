@@ -1,0 +1,36 @@
+"""Spark batch engine substrate.
+
+Stage/task job model, LPT list scheduler over heterogeneous executor
+cores, and the overhead models (batch setup, coordination, executor
+startup) that shape the paper's Fig. 2a and Fig. 3a curves.
+"""
+
+from .faults import NO_FAULTS, FaultModel
+from .job import BatchJob
+from .overhead import DEFAULT_OVERHEAD, ZERO_OVERHEAD, OverheadModel
+from .stage import Stage
+from .task import TaskRun, TaskSpec
+from .task_scheduler import (
+    JobRun,
+    NoExecutorsError,
+    NoiseModel,
+    StageRun,
+    TaskScheduler,
+)
+
+__all__ = [
+    "BatchJob",
+    "FaultModel",
+    "NO_FAULTS",
+    "DEFAULT_OVERHEAD",
+    "JobRun",
+    "NoExecutorsError",
+    "NoiseModel",
+    "OverheadModel",
+    "Stage",
+    "StageRun",
+    "TaskRun",
+    "TaskScheduler",
+    "TaskSpec",
+    "ZERO_OVERHEAD",
+]

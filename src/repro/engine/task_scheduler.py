@@ -1,0 +1,228 @@
+"""Task scheduler: turns a :class:`BatchJob` into a makespan.
+
+The scheduler reproduces Spark's TaskSchedulerImpl behaviour at the level
+that matters for SSPO: tasks of a stage run in parallel across all
+executor cores (longest-processing-time-first list scheduling, a good
+model of Spark's pending-task queue under uniform locality), stages are
+separated by barriers, ML-style stages iterate, and driver-side overheads
+from :mod:`repro.engine.overhead` are charged per batch / stage / task.
+
+The result is the *batch processing time* — the single most important
+quantity in the paper, since the stability constraint is
+``batch interval >= batch processing time``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cluster.executor import Executor
+
+from .faults import NO_FAULTS, FaultModel
+from .job import BatchJob
+from .overhead import DEFAULT_OVERHEAD, OverheadModel
+from .task import TaskRun, TaskSpec
+
+
+class NoExecutorsError(RuntimeError):
+    """Raised when a job is submitted while zero executors are registered."""
+
+
+@dataclass
+class StageRun:
+    """Aggregate record of one executed stage (all iterations)."""
+
+    stage_id: int
+    name: str
+    start: float
+    finish: float
+    num_tasks: int
+    iterations: int
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class JobRun:
+    """Result of executing one batch job."""
+
+    job_id: int
+    start: float
+    finish: float
+    stage_runs: List[StageRun] = field(default_factory=list)
+    task_runs: List[TaskRun] = field(default_factory=list)
+    executors_used: int = 0
+    task_failures: int = 0
+    """Failed task attempts (transient faults, retried)."""
+    exhausted_retries: int = 0
+    """Tasks that consumed their whole failure budget (a real Spark job
+    would have been aborted)."""
+
+    @property
+    def processing_time(self) -> float:
+        """Batch processing time: submission to last-task completion."""
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative log-normal jitter on task durations.
+
+    ``sigma`` is the standard deviation of the underlying normal; 0.1
+    yields roughly ±10% per-task variation — consistent with the "network
+    jitters, resource contentions" noise the paper cites as motivation for
+    a noise-tolerant optimizer (§4.1).
+    """
+
+    sigma: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def draw(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.sigma == 0.0:
+            return np.ones(n)
+        # mean-1 log-normal so noise does not bias average durations
+        return rng.lognormal(mean=-0.5 * self.sigma**2, sigma=self.sigma, size=n)
+
+
+class TaskScheduler:
+    """Greedy LPT list scheduler over heterogeneous executor cores."""
+
+    def __init__(
+        self,
+        overhead: OverheadModel = DEFAULT_OVERHEAD,
+        noise: NoiseModel = NoiseModel(),
+        record_tasks: bool = False,
+        faults: FaultModel = NO_FAULTS,
+    ) -> None:
+        self.overhead = overhead
+        self.noise = noise
+        self.record_tasks = record_tasks
+        self.faults = faults
+
+    def run_job(
+        self,
+        job: BatchJob,
+        executors: Sequence[Executor],
+        start_time: float,
+        rng: np.random.Generator,
+    ) -> JobRun:
+        """Execute ``job`` on ``executors`` starting at ``start_time``.
+
+        Returns a :class:`JobRun`; ``run.processing_time`` is the batch
+        processing time reported to the streaming listener.
+        """
+        if not executors:
+            raise NoExecutorsError(
+                f"job {job.job_id} submitted with no executors registered"
+            )
+        run = JobRun(
+            job_id=job.job_id,
+            start=start_time,
+            finish=start_time,
+            executors_used=len(executors),
+        )
+        # (free_at, slot_seq, executor) heap — one entry per core.
+        slots: List[tuple] = []
+        seq = 0
+        clock = start_time + self.overhead.batch_setup
+        for ex in executors:
+            for _ in range(ex.cores):
+                slots.append((clock, seq, ex))
+                seq += 1
+        heapq.heapify(slots)
+        coord = self.overhead.coordination_cost(len(executors))
+
+        for stage in job.stages:
+            stage_start = clock
+            for _ in range(stage.iterations):
+                # Driver-side serial costs per stage execution.
+                clock += self.overhead.stage_setup + coord
+                clock = self._run_task_set(
+                    stage.tasks, slots, clock, rng, run
+                )
+            run.stage_runs.append(
+                StageRun(
+                    stage_id=stage.stage_id,
+                    name=stage.name,
+                    start=stage_start,
+                    finish=clock,
+                    num_tasks=stage.num_tasks,
+                    iterations=stage.iterations,
+                )
+            )
+        run.finish = clock
+        return run
+
+    def _run_task_set(
+        self,
+        tasks: Sequence[TaskSpec],
+        slots: List[tuple],
+        barrier: float,
+        rng: np.random.Generator,
+        run: JobRun,
+    ) -> float:
+        """Schedule one iteration of a stage's tasks; return the new barrier."""
+        if not tasks:
+            return barrier
+        # LPT order: longest tasks first minimizes makespan for list
+        # scheduling and mirrors Spark's preference for large pending tasks.
+        order = sorted(tasks, key=lambda t: t.compute_cost + t.io_cost, reverse=True)
+        noise = self.noise.draw(rng, len(order))
+        finish_max = barrier
+        seq = len(slots)
+        reinsert: List[tuple] = []
+        for i, spec in enumerate(order):
+            attempts = 0
+            while True:
+                attempts += 1
+                free_at, _, ex = heapq.heappop(slots)
+                start = max(free_at, barrier) + self.overhead.task_dispatch
+                startup = 0.0
+                charged = False
+                if not ex.initialized:
+                    startup = self.overhead.executor_startup
+                    ex.mark_initialized()
+                    charged = True
+                duration = spec.duration_on(
+                    ex, noise_factor=float(noise[i]), startup_cost=startup
+                )
+                may_fail = attempts < self.faults.max_attempts
+                if may_fail and self.faults.attempt_fails(rng):
+                    # Transient failure: the core is busy for part of the
+                    # attempt, then the task re-queues on the earliest slot.
+                    waste = duration * self.faults.waste_fraction(rng)
+                    heapq.heappush(slots, (start + waste, seq, ex))
+                    seq += 1
+                    run.task_failures += 1
+                    continue
+                if attempts == self.faults.max_attempts and attempts > 1:
+                    # The final allowed attempt always succeeds here; a
+                    # real system would abort the job at this point.
+                    run.exhausted_retries += 1
+                finish = start + duration
+                finish_max = max(finish_max, finish)
+                heapq.heappush(slots, (finish, seq, ex))
+                seq += 1
+                if self.record_tasks:
+                    run.task_runs.append(
+                        TaskRun(
+                            spec=spec,
+                            executor_id=ex.executor_id,
+                            start=start,
+                            finish=finish,
+                            startup_charged=charged,
+                        )
+                    )
+                break
+        # Barrier: next stage iteration starts when the slowest task ends.
+        del reinsert
+        return finish_max

@@ -1,0 +1,139 @@
+"""Shared experiment scaffolding.
+
+Every paper experiment runs on the same substrate: the Table 2 cluster,
+a five-broker Kafka deployment, one of the four workloads fed at its
+Fig. 5 rate band.  :func:`build_experiment` assembles that stack;
+:func:`make_controller` attaches a paper-parameterized NoStop controller
+(§6.2.1: A=1, a=10, c=2, θ₀ = center, N=10, S=1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.cluster import Cluster, paper_cluster
+from repro.core.bounds import MinMaxScaler, paper_configuration_space
+from repro.core.gains import GainSchedule, paper_gains
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.nostop import NoStopController, NoStopReport
+from repro.core.pause import PauseRule
+from repro.core.rate_monitor import RateMonitor
+from repro.core.system import SimulatedSparkSystem
+from repro.datagen.generator import DataGenerator
+from repro.datagen.rates import RateTrace, paper_rate_trace
+from repro.engine.overhead import DEFAULT_OVERHEAD, OverheadModel
+from repro.engine.task_scheduler import NoiseModel
+from repro.kafka.cluster import KafkaCluster, paper_kafka_cluster
+from repro.streaming.context import StreamingConfig, StreamingContext
+from repro.workloads import make_workload
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ExperimentSetup:
+    """A fully wired simulated deployment."""
+
+    cluster: Cluster
+    kafka: KafkaCluster
+    workload: Workload
+    generator: DataGenerator
+    context: StreamingContext
+    system: SimulatedSparkSystem
+    scaler: MinMaxScaler
+
+
+def build_experiment(
+    workload_name: str,
+    seed: int = 0,
+    batch_interval: float = 10.0,
+    num_executors: int = 10,
+    rate_trace: Optional[RateTrace] = None,
+    rate_hold: float = 10.0,
+    overhead: OverheadModel = DEFAULT_OVERHEAD,
+    noise_sigma: float = 0.10,
+    max_executors: int = 20,
+    max_interval: float = 40.0,
+    queue_max_length: int = 25,
+    cluster: Optional[Cluster] = None,
+) -> ExperimentSetup:
+    """Assemble the paper's deployment for one workload.
+
+    ``seed`` derives all stochastic streams (rate trace, task noise,
+    payload synthesis) so repeats with different seeds are the paper's
+    "repeat five times" protocol.
+
+    ``queue_max_length`` bounds the batch queue: a long-unstable
+    configuration sheds its oldest batches (the "possible data loss"
+    of §1) instead of accumulating unbounded backlog — without a bound,
+    a few unstable probes early in an optimization run would poison the
+    rest of the experiment with queue drain.
+    """
+    cluster = cluster or paper_cluster()
+    kafka = paper_kafka_cluster(cluster.total_cores)
+    workload = make_workload(workload_name)
+    trace = rate_trace or paper_rate_trace(
+        workload_name, seed=seed, hold=rate_hold
+    )
+    generator = DataGenerator(
+        kafka.topic("events"),
+        trace,
+        payload_kind=workload.payload_kind,
+        seed=seed,
+    )
+    context = StreamingContext(
+        cluster,
+        workload,
+        generator,
+        StreamingConfig(batch_interval, num_executors),
+        seed=seed,
+        overhead=overhead,
+        noise=NoiseModel(sigma=noise_sigma),
+        queue_max_length=queue_max_length,
+    )
+    system = SimulatedSparkSystem(context)
+    scaler = paper_configuration_space(
+        max_executors=max_executors, max_interval=max_interval
+    )
+    return ExperimentSetup(
+        cluster=cluster,
+        kafka=kafka,
+        workload=workload,
+        generator=generator,
+        context=context,
+        system=system,
+        scaler=scaler,
+    )
+
+
+def make_controller(
+    setup: ExperimentSetup,
+    seed: int = 0,
+    gains: Optional[GainSchedule] = None,
+    pause_n: int = 10,
+    pause_s: float = 1.0,
+    collector_window: int = 3,
+    rate_threshold: float = 0.25,
+) -> NoStopController:
+    """NoStop controller with the paper's §6.2.1 settings."""
+    return NoStopController(
+        system=setup.system,
+        scaler=setup.scaler,
+        gains=gains or paper_gains(),
+        pause_rule=PauseRule(n_best=pause_n, std_threshold=pause_s),
+        rate_monitor=RateMonitor(threshold=rate_threshold),
+        collector=MetricsCollector(window=collector_window),
+        seed=seed,
+    )
+
+
+def quick_nostop_run(
+    workload_name: str,
+    rounds: int = 30,
+    seed: int = 0,
+    **build_kwargs,
+) -> NoStopReport:
+    """One-call NoStop run: build the deployment, optimize, report."""
+    setup = build_experiment(workload_name, seed=seed, **build_kwargs)
+    controller = make_controller(setup, seed=seed)
+    return controller.run(rounds)

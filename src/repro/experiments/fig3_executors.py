@@ -1,0 +1,112 @@
+"""Fig. 3 — effect of executor count on streaming logistic regression.
+
+Sweeps the executor count at a fixed batch interval and reports batch
+processing time (Fig. 3a) and batch schedule delay (Fig. 3b).  Expected
+shapes: a U-shaped processing-time curve (limited parallelism on the
+left, executor-management overhead on the right), instability below
+~10 executors at a 10 s interval, and processing time at ~20 executors
+"the closest to the batch interval while the system still remains
+stable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.analysis.tables import format_table
+from repro.baselines.fixed import run_fixed_configuration
+
+from .common import build_experiment
+
+DEFAULT_EXECUTOR_COUNTS = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24)
+
+
+@dataclass(frozen=True)
+class ExecutorPoint:
+    """One sweep point of Fig. 3."""
+
+    executors: int
+    processing_time: float
+    schedule_delay: float
+    end_to_end_delay: float
+    unstable_fraction: float
+    interval: float
+
+    @property
+    def stable(self) -> bool:
+        return self.processing_time <= self.interval
+
+
+@dataclass
+class Fig3Result:
+    points: List[ExecutorPoint] = field(default_factory=list)
+    workload: str = "logistic_regression"
+    interval: float = 10.0
+
+    def min_stable_executors(self) -> int:
+        for p in self.points:
+            if p.stable:
+                return p.executors
+        raise RuntimeError("no stable executor count in sweep")
+
+    def best_executors(self) -> int:
+        """Executor count with minimum end-to-end delay."""
+        return min(self.points, key=lambda p: p.end_to_end_delay).executors
+
+    def is_u_shaped(self) -> bool:
+        """Left arm falls, and the right end does not keep falling."""
+        procs = [p.processing_time for p in self.points]
+        falls = procs[0] > min(procs)
+        rises = procs[-1] >= min(procs)
+        return falls and rises
+
+    def to_table(self) -> str:
+        return format_table(
+            ["executors", "proc time (s)", "sched delay (s)",
+             "e2e delay (s)", "stable"],
+            [
+                (p.executors, p.processing_time, p.schedule_delay,
+                 p.end_to_end_delay, p.stable)
+                for p in self.points
+            ],
+            title=(
+                f"Fig. 3: executor-count sweep "
+                f"({self.workload}, interval {self.interval} s)"
+            ),
+        )
+
+
+def run_fig3(
+    executor_counts: Sequence[int] = DEFAULT_EXECUTOR_COUNTS,
+    workload: str = "logistic_regression",
+    interval: float = 10.0,
+    batches: int = 25,
+    seed: int = 1,
+) -> Fig3Result:
+    """Run the Fig. 3 sweep; each point is a fresh deployment."""
+    result = Fig3Result(workload=workload, interval=interval)
+    for n in executor_counts:
+        setup = build_experiment(
+            workload,
+            seed=seed,
+            batch_interval=interval,
+            num_executors=int(n),
+            max_executors=max(24, int(n)),
+        )
+        run = run_fixed_configuration(setup.context, batches=batches, warmup=4)
+        result.points.append(
+            ExecutorPoint(
+                executors=int(n),
+                processing_time=run.mean_processing_time,
+                schedule_delay=run.mean_scheduling_delay,
+                end_to_end_delay=run.mean_end_to_end_delay,
+                unstable_fraction=run.unstable_fraction,
+                interval=interval,
+            )
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig3().to_table())

@@ -1,0 +1,139 @@
+"""Fig. 7 — end-to-end delay improvement over the default configuration.
+
+For each workload: run NoStop to (near-)convergence, then measure the
+steady-state end-to-end delay of its final configuration on a fresh
+deployment, against the same measurement for the untuned default
+configuration (mid-range 20 s interval, 10 executors — see
+``repro.baselines.fixed.DEFAULT_CONFIGURATION``).  "We repeat NoStop
+optimization experiments five times for each workload and plot the
+average performance measurement with the standard deviation" (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.stats import Summary, improvement_factor, summarize
+from repro.analysis.tables import format_table
+from repro.baselines.fixed import DEFAULT_CONFIGURATION, run_fixed_configuration
+
+from .common import build_experiment, make_controller
+from .fig6_evolution import PAPER_WORKLOADS
+
+
+@dataclass
+class WorkloadImprovement:
+    """Fig. 7 bars for one workload (mean ± std over repeats)."""
+
+    workload: str
+    nostop_delays: List[float] = field(default_factory=list)
+    default_delays: List[float] = field(default_factory=list)
+    final_intervals: List[float] = field(default_factory=list)
+    final_executors: List[int] = field(default_factory=list)
+
+    @property
+    def nostop(self) -> Summary:
+        return summarize(self.nostop_delays)
+
+    @property
+    def default(self) -> Summary:
+        return summarize(self.default_delays)
+
+    @property
+    def improvement(self) -> float:
+        """How many times smaller NoStop's delay is than the default's."""
+        return improvement_factor(self.default.mean, self.nostop.mean)
+
+
+@dataclass
+class Fig7Result:
+    workloads: Dict[str, WorkloadImprovement] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        rows = []
+        for name, w in self.workloads.items():
+            rows.append(
+                (
+                    name,
+                    f"{w.nostop.mean:.2f} ± {w.nostop.std:.2f}",
+                    f"{w.default.mean:.2f} ± {w.default.std:.2f}",
+                    w.improvement,
+                )
+            )
+        return format_table(
+            ["workload", "NoStop e2e (s)", "default e2e (s)", "improvement x"],
+            rows,
+            title="Fig. 7: delay vs. default configuration (mean ± std over repeats)",
+        )
+
+
+def measure_configuration(
+    workload: str,
+    batch_interval: float,
+    num_executors: int,
+    seed: int,
+    batches: int = 40,
+) -> float:
+    """Steady-state end-to-end delay of a fixed configuration."""
+    setup = build_experiment(
+        workload,
+        seed=seed,
+        batch_interval=batch_interval,
+        num_executors=num_executors,
+    )
+    run = run_fixed_configuration(setup.context, batches=batches, warmup=5)
+    return run.mean_end_to_end_delay
+
+
+def run_fig7_one(
+    workload: str,
+    repeats: int = 5,
+    rounds: int = 40,
+    base_seed: int = 1,
+) -> WorkloadImprovement:
+    """Fig. 7 measurement for one workload."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    result = WorkloadImprovement(workload=workload)
+    for rep in range(repeats):
+        seed = base_seed + 100 * rep
+        setup = build_experiment(workload, seed=seed)
+        controller = make_controller(setup, seed=seed)
+        report = controller.run(rounds)
+        result.final_intervals.append(report.final_interval)
+        result.final_executors.append(report.final_executors)
+        result.nostop_delays.append(
+            measure_configuration(
+                workload, report.final_interval, report.final_executors,
+                seed=seed + 7,
+            )
+        )
+        result.default_delays.append(
+            measure_configuration(
+                workload,
+                DEFAULT_CONFIGURATION.batch_interval,
+                DEFAULT_CONFIGURATION.num_executors,
+                seed=seed + 7,
+            )
+        )
+    return result
+
+
+def run_fig7(
+    repeats: int = 5,
+    rounds: int = 40,
+    base_seed: int = 1,
+    workloads=PAPER_WORKLOADS,
+) -> Fig7Result:
+    """Full Fig. 7 over the four paper workloads."""
+    result = Fig7Result()
+    for w in workloads:
+        result.workloads[w] = run_fig7_one(
+            w, repeats=repeats, rounds=rounds, base_seed=base_seed
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig7().to_table())

@@ -1,0 +1,180 @@
+"""Fig. 8 — SPSA (NoStop) versus Bayesian Optimization.
+
+Both optimizers drive the identical live system through the identical
+Adjust measurement pathway and stop under the identical impeded-progress
+rule; the comparison axes are the paper's three (§6.4):
+
+* final optimization result — steady-state delay of the best
+  configuration found ("the final optimization results are comparable");
+* search time — simulated seconds until convergence (or budget
+  exhaustion);
+* configuration steps — live configuration changes consumed.
+
+Expected outcome: comparable final delay, with SPSA needing fewer
+configuration steps and less search time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import format_table
+from repro.baselines.bayesian import run_bayesian_optimization
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.pause import PauseRule
+
+from .common import build_experiment, make_controller
+from .fig6_evolution import PAPER_WORKLOADS
+
+
+@dataclass(frozen=True)
+class OptimizerRun:
+    """One optimizer run's Fig. 8 measurements."""
+
+    optimizer: str
+    final_delay: float
+    search_time: float
+    config_steps: int
+    converged: bool
+
+
+@dataclass
+class WorkloadComparison:
+    """SPSA-vs-BO repeats for one workload."""
+
+    workload: str
+    spsa: List[OptimizerRun] = field(default_factory=list)
+    bo: List[OptimizerRun] = field(default_factory=list)
+
+    def summary(self, attr: str) -> Dict[str, Summary]:
+        return {
+            "spsa": summarize([getattr(r, attr) for r in self.spsa]),
+            "bo": summarize([getattr(r, attr) for r in self.bo]),
+        }
+
+
+@dataclass
+class Fig8Result:
+    workloads: Dict[str, WorkloadComparison] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        rows = []
+        for name, cmp_ in self.workloads.items():
+            delay = cmp_.summary("final_delay")
+            time_ = cmp_.summary("search_time")
+            steps = cmp_.summary("config_steps")
+            for opt in ("spsa", "bo"):
+                rows.append(
+                    (
+                        name,
+                        opt.upper(),
+                        f"{delay[opt].mean:.2f} ± {delay[opt].std:.2f}",
+                        f"{time_[opt].mean:.0f} ± {time_[opt].std:.0f}",
+                        f"{steps[opt].mean:.1f} ± {steps[opt].std:.1f}",
+                    )
+                )
+        return format_table(
+            ["workload", "optimizer", "final delay (s)",
+             "search time (s)", "config steps"],
+            rows,
+            title="Fig. 8: SPSA vs Bayesian Optimization (mean ± std over repeats)",
+        )
+
+
+def run_spsa_once(workload: str, seed: int, rounds: int) -> OptimizerRun:
+    """One NoStop run measured on the Fig. 8 axes."""
+    setup = build_experiment(workload, seed=seed)
+    controller = make_controller(setup, seed=seed)
+    start_time = setup.system.time
+    report = controller.run(rounds)
+    converged = report.first_pause_round is not None
+    search_time = (
+        report.first_pause_time
+        if converged
+        else setup.system.time - start_time
+    )
+    steps = (
+        report.adjust_calls_to_pause
+        if converged
+        else controller.adjust.calls
+    )
+    best = controller.pause_rule.best_config()
+    return OptimizerRun(
+        optimizer="spsa",
+        final_delay=best.end_to_end_delay,
+        search_time=float(search_time),
+        config_steps=int(steps),
+        converged=converged,
+    )
+
+
+def run_bo_once(workload: str, seed: int, max_evaluations: int) -> OptimizerRun:
+    """One Bayesian-optimization run measured on the Fig. 8 axes."""
+    setup = build_experiment(workload, seed=seed)
+    report = run_bayesian_optimization(
+        setup.system,
+        setup.scaler,
+        max_evaluations=max_evaluations,
+        seed=seed,
+        pause_rule=PauseRule(),
+        collector=MetricsCollector(),
+    )
+    final_delay = (
+        report.final_delay
+        if report.final_delay is not None
+        else report.best().end_to_end_delay
+    )
+    return OptimizerRun(
+        optimizer="bo",
+        final_delay=final_delay,
+        search_time=float(report.search_time or 0.0),
+        config_steps=report.config_steps,
+        converged=report.converged_at is not None,
+    )
+
+
+def run_fig8_one(
+    workload: str,
+    repeats: int = 5,
+    rounds: int = 40,
+    bo_evaluations: int = 80,
+    base_seed: int = 1,
+) -> WorkloadComparison:
+    """SPSA-vs-BO repeats for one workload.
+
+    ``bo_evaluations`` defaults to the same measurement budget NoStop
+    consumes (2 per round x ``rounds``) so neither side gets extra
+    system time.
+    """
+    cmp_ = WorkloadComparison(workload=workload)
+    for rep in range(repeats):
+        seed = base_seed + 100 * rep
+        cmp_.spsa.append(run_spsa_once(workload, seed, rounds))
+        cmp_.bo.append(run_bo_once(workload, seed, bo_evaluations))
+    return cmp_
+
+
+def run_fig8(
+    repeats: int = 5,
+    rounds: int = 40,
+    bo_evaluations: int = 80,
+    base_seed: int = 1,
+    workloads=PAPER_WORKLOADS,
+) -> Fig8Result:
+    """Full Fig. 8 over the four paper workloads."""
+    result = Fig8Result()
+    for w in workloads:
+        result.workloads[w] = run_fig8_one(
+            w,
+            repeats=repeats,
+            rounds=rounds,
+            bo_evaluations=bo_evaluations,
+            base_seed=base_seed,
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig8(repeats=3).to_table())

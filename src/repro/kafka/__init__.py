@@ -1,0 +1,26 @@
+"""Simulated Kafka substrate.
+
+Brokers, topics, segment-based partitions, a rate-controlled producer
+(the paper's external data generator) and a direct-stream consumer with
+exactly-once offset-range semantics.
+"""
+
+from .broker import KafkaBroker
+from .cluster import KafkaCluster, paper_kafka_cluster
+from .consumer import ConsumedBatch, DirectStreamConsumer, OffsetRange
+from .partition import Partition, Segment
+from .producer import RateControlledProducer
+from .topic import Topic
+
+__all__ = [
+    "ConsumedBatch",
+    "DirectStreamConsumer",
+    "KafkaBroker",
+    "KafkaCluster",
+    "OffsetRange",
+    "Partition",
+    "RateControlledProducer",
+    "Segment",
+    "Topic",
+    "paper_kafka_cluster",
+]

@@ -1,0 +1,98 @@
+"""Direct-stream Kafka consumer.
+
+Models Spark Streaming's direct Kafka integration: at every batch
+boundary the receiver asks each partition for the offset range that
+arrived during the batch interval, and the batch is exactly the union of
+those ranges.  The consumer tracks committed offsets per partition so
+records are consumed exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .topic import Topic
+
+
+@dataclass(frozen=True)
+class OffsetRange:
+    """Offsets ``[start, end)`` consumed from one partition for a batch."""
+
+    partition_id: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"end {self.end} precedes start {self.start}")
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ConsumedBatch:
+    """All offset ranges consumed at one batch boundary."""
+
+    batch_time: float
+    ranges: List[OffsetRange]
+
+    @property
+    def total_records(self) -> int:
+        return sum(r.count for r in self.ranges)
+
+
+class DirectStreamConsumer:
+    """Exactly-once offset-range consumer over a topic."""
+
+    def __init__(self, topic: Topic) -> None:
+        self.topic = topic
+        self._committed: List[int] = [0] * topic.num_partitions
+        self.total_consumed = 0
+
+    @property
+    def committed_offsets(self) -> List[int]:
+        return list(self._committed)
+
+    def lag(self) -> int:
+        """Records appended but not yet consumed (input-queue backlog)."""
+        return sum(
+            p.end_offset - self._committed[p.partition_id]
+            for p in self.topic.partitions
+        )
+
+    def poll(self, batch_time: float) -> ConsumedBatch:
+        """Consume everything that arrived strictly before ``batch_time``."""
+        ranges: List[OffsetRange] = []
+        for p in self.topic.partitions:
+            end = p.offset_at(batch_time)
+            start = self._committed[p.partition_id]
+            if end < start:
+                raise RuntimeError(
+                    f"partition {p.partition_id}: offset went backwards "
+                    f"({end} < committed {start})"
+                )
+            ranges.append(OffsetRange(p.partition_id, start, end))
+            self._committed[p.partition_id] = end
+        batch = ConsumedBatch(batch_time=batch_time, ranges=ranges)
+        self.total_consumed += batch.total_records
+        return batch
+
+    def mean_arrival_time(self, batch: ConsumedBatch) -> float:
+        """Record-weighted mean arrival time of a consumed batch.
+
+        Falls back to the batch time for empty batches.
+        """
+        total_t = 0.0
+        total_n = 0
+        for r in batch.ranges:
+            if r.count == 0:
+                continue
+            p = self.topic.partitions[r.partition_id]
+            total_t += p.mean_arrival_time(r.start, r.end) * r.count
+            total_n += r.count
+        if total_n == 0:
+            return batch.batch_time
+        return total_t / total_n

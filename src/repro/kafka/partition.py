@@ -1,0 +1,157 @@
+"""Kafka partition model.
+
+A partition is an append-only log.  To keep millions of simulated records
+cheap, the log stores *segments* — ``(t0, t1, count)`` spans during which
+records arrived at a uniform rate — rather than individual messages.
+Offsets are exact; arrival timestamps inside a segment are interpolated
+linearly, which matches a producer that spreads records evenly over the
+production interval.
+
+Lookups are O(log n) via binary search over parallel segment arrays —
+the receiver polls every batch boundary for the lifetime of a run, so
+linear scans here would dominate whole-experiment cost.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Segment:
+    """``count`` records appended uniformly over ``[t0, t1)``."""
+
+    t0: float
+    t1: float
+    count: int
+    base_offset: int
+
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise ValueError(f"segment end {self.t1} precedes start {self.t0}")
+        if self.count < 0:
+            raise ValueError(f"count must be >= 0, got {self.count}")
+        if self.base_offset < 0:
+            raise ValueError("base_offset must be >= 0")
+
+    def timestamp_of(self, offset: int) -> float:
+        """Arrival time of the record at absolute ``offset``."""
+        if not (self.base_offset <= offset < self.base_offset + self.count):
+            raise IndexError(f"offset {offset} outside segment")
+        if self.count == 1:
+            return self.t0
+        frac = (offset - self.base_offset) / self.count
+        return self.t0 + frac * (self.t1 - self.t0)
+
+
+class Partition:
+    """One ordered, append-only shard of a topic."""
+
+    def __init__(self, partition_id: int) -> None:
+        self.partition_id = partition_id
+        # Parallel segment arrays (non-empty segments only).
+        self._t0: List[float] = []
+        self._t1: List[float] = []
+        self._counts: List[int] = []
+        self._bases: List[int] = []
+        self._end_offset = 0
+        self._last_t1 = 0.0
+
+    @property
+    def end_offset(self) -> int:
+        """Offset one past the last appended record."""
+        return self._end_offset
+
+    @property
+    def segment_count(self) -> int:
+        """Number of non-empty segments (O(1), unlike ``segments``)."""
+        return len(self._counts)
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return tuple(
+            Segment(t0=a, t1=b, count=c, base_offset=o)
+            for a, b, c, o in zip(self._t0, self._t1, self._counts, self._bases)
+        )
+
+    def append(self, t0: float, t1: float, count: int) -> None:
+        """Append ``count`` records spread uniformly over ``[t0, t1)``."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if t1 < t0:
+            raise ValueError(f"segment end {t1} precedes start {t0}")
+        if t0 < self._last_t1 - 1e-9:
+            raise ValueError(
+                f"append at t0={t0} overlaps previous segment ending at "
+                f"{self._last_t1}"
+            )
+        self._last_t1 = max(self._last_t1, t1)
+        if count == 0:
+            return
+        self._t0.append(t0)
+        self._t1.append(t1)
+        self._counts.append(count)
+        self._bases.append(self._end_offset)
+        self._end_offset += count
+
+    def offset_at(self, t: float) -> int:
+        """Number of records that have arrived strictly before time ``t``."""
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        # Index of the first segment with t1 > t: all earlier segments are
+        # fully arrived; that segment may be partially arrived.
+        i = bisect.bisect_right(self._t1, t)
+        if i == len(self._t0):
+            return self._end_offset
+        total = self._bases[i]
+        if t > self._t0[i]:
+            span = self._t1[i] - self._t0[i]
+            frac = (t - self._t0[i]) / span if span > 0 else 1.0
+            total += int(frac * self._counts[i])
+        return total
+
+    def timestamp_of(self, offset: int) -> float:
+        """Arrival time of the record at ``offset``."""
+        if not (0 <= offset < self._end_offset):
+            raise IndexError(
+                f"offset {offset} out of range [0, {self._end_offset})"
+            )
+        i = bisect.bisect_right(self._bases, offset) - 1
+        seg = Segment(
+            t0=self._t0[i],
+            t1=self._t1[i],
+            count=self._counts[i],
+            base_offset=self._bases[i],
+        )
+        return seg.timestamp_of(offset)
+
+    def mean_arrival_time(self, start_offset: int, end_offset: int) -> float:
+        """Record-weighted mean arrival time over ``[start, end)`` offsets.
+
+        Used for end-to-end latency accounting: the average delay of a
+        batch's records is (output time − mean arrival time).
+        """
+        if end_offset <= start_offset:
+            raise ValueError("empty offset range")
+        if end_offset > self._end_offset:
+            raise IndexError("end_offset beyond log end")
+        total_time = 0.0
+        total_count = 0
+        # First segment overlapping the range.
+        i = bisect.bisect_right(self._bases, start_offset) - 1
+        i = max(i, 0)
+        while i < len(self._t0) and self._bases[i] < end_offset:
+            base, count = self._bases[i], self._counts[i]
+            lo = max(start_offset, base)
+            hi = min(end_offset, base + count)
+            if hi > lo:
+                # Mean timestamp of offsets [lo, hi) inside a uniform segment.
+                mid_frac = ((lo + hi) / 2.0 - base) / count
+                total_time += (
+                    self._t0[i] + mid_frac * (self._t1[i] - self._t0[i])
+                ) * (hi - lo)
+                total_count += hi - lo
+            i += 1
+        return total_time / total_count

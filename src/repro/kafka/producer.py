@@ -1,0 +1,84 @@
+"""Rate-controlled Kafka producer.
+
+The external data generator of §6.1 "sends data to Kafka Brokers at
+varying data rates" with a uniform spread over partitions.  The producer
+advances with simulation time: calling :meth:`produce_until` materializes
+all records implied by the rate trace since the last call.
+
+A producer-side ``rate_cap`` models the paper's note that "the input data
+rate could also be restricted in the streaming data processing system to
+avoid instantaneous surge rates (e.g., by controlling the Kafka producing
+rate)" (§6.2.2) — and is the knob the back-pressure baseline actuates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.datagen.rates import RateTrace
+
+from .topic import Topic
+
+
+class RateControlledProducer:
+    """Feed a topic from a rate trace, in fixed production ticks."""
+
+    def __init__(
+        self,
+        topic: Topic,
+        trace: RateTrace,
+        tick: float = 1.0,
+        rate_cap: Optional[float] = None,
+    ) -> None:
+        if tick <= 0:
+            raise ValueError(f"tick must be positive, got {tick}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ValueError(f"rate_cap must be positive, got {rate_cap}")
+        self.topic = topic
+        self.trace = trace
+        self.tick = float(tick)
+        self.rate_cap = rate_cap
+        self._produced_until = 0.0
+        self.total_produced = 0
+        self.total_throttled = 0
+
+    @property
+    def produced_until(self) -> float:
+        """Simulation time up to which records have been materialized."""
+        return self._produced_until
+
+    def set_rate_cap(self, cap: Optional[float]) -> None:
+        """Change the producer-side throttle (None removes it)."""
+        if cap is not None and cap <= 0:
+            raise ValueError(f"rate_cap must be positive, got {cap}")
+        self.rate_cap = cap
+
+    def produce_until(self, t: float) -> int:
+        """Materialize all arrivals in ``[produced_until, t)``.
+
+        Returns the number of records produced by this call.  Throttled
+        records (above ``rate_cap``) are counted in ``total_throttled``
+        and dropped, modeling an upstream queue we do not simulate —
+        exactly the data-loss risk the paper warns unstable systems incur.
+        """
+        if t < self._produced_until:
+            raise ValueError(
+                f"produce_until({t}) precedes already-produced time "
+                f"{self._produced_until}"
+            )
+        produced = 0
+        while self._produced_until + 1e-12 < t:
+            t0 = self._produced_until
+            t1 = min(t0 + self.tick, t)
+            want = self.trace.records_between(t0, t1)
+            if self.rate_cap is not None:
+                allowed = int(math.floor(self.rate_cap * (t1 - t0)))
+                if want > allowed:
+                    self.total_throttled += want - allowed
+                    want = allowed
+            self.topic.append_uniform(t0, t1, want)
+            produced += want
+            self._produced_until = t1
+        self.total_produced += produced
+        return produced

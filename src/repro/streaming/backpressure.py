@@ -1,0 +1,130 @@
+"""Spark back pressure: the PID rate estimator baseline.
+
+Ports Spark's ``PIDRateEstimator`` (the mechanism behind
+``spark.streaming.backpressure.enabled``), which the paper compares
+against in §6: after each completed batch it estimates the sustainable
+ingestion rate from the batch's processing rate, the rate error, and the
+backlog implied by scheduling delay, then throttles the receiver.
+
+Back pressure keeps the system *stable* at a fixed configuration but —
+unlike NoStop — neither shrinks the batch interval nor rescales
+executors, so its end-to-end delay floor is set by the static
+configuration (and throttled records queue upstream, adding invisible
+latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .listener import StreamingListener
+from .metrics import BatchInfo
+
+
+@dataclass
+class PIDRateEstimator:
+    """Proportional-integral-derivative estimator of a sustainable rate.
+
+    Parameters mirror Spark's defaults
+    (``spark.streaming.backpressure.pid.*``): proportional 1.0,
+    integral 0.2, derivative 0.0, minimum rate 100 records/s.
+    """
+
+    proportional: float = 1.0
+    integral: float = 0.2
+    derivative: float = 0.0
+    min_rate: float = 100.0
+
+    _latest_time: float = -1.0
+    _latest_rate: float = -1.0
+    _latest_error: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.proportional < 0 or self.integral < 0 or self.derivative < 0:
+            raise ValueError("PID gains must be >= 0")
+        if self.min_rate <= 0:
+            raise ValueError("min_rate must be positive")
+
+    def compute(
+        self,
+        time: float,
+        num_elements: int,
+        processing_delay: float,
+        scheduling_delay: float,
+        batch_interval: float,
+    ) -> Optional[float]:
+        """New rate bound in records/s, or None if the update is invalid.
+
+        Follows ``PIDRateEstimator.compute`` in Spark's
+        ``streaming/scheduler/rate`` package, with times in seconds.
+        """
+        if time <= self._latest_time:
+            return None
+        if num_elements <= 0 or processing_delay <= 0:
+            return None
+
+        delay_since_update = time - self._latest_time
+        processing_rate = num_elements / processing_delay
+        error = self._latest_rate - processing_rate
+        # Backlog drain term: records queued per second of interval.
+        historical_error = scheduling_delay * processing_rate / batch_interval
+        d_error = (
+            (error - self._latest_error) / delay_since_update
+            if self._latest_time >= 0
+            else 0.0
+        )
+
+        if self._latest_rate < 0:
+            # First valid update: adopt the observed processing rate.
+            new_rate = max(processing_rate, self.min_rate)
+        else:
+            new_rate = max(
+                self._latest_rate
+                - self.proportional * error
+                - self.integral * historical_error
+                - self.derivative * d_error,
+                self.min_rate,
+            )
+        self._latest_time = time
+        self._latest_rate = new_rate
+        self._latest_error = error
+        return new_rate
+
+
+class BackPressureController:
+    """Subscribe the PID estimator to a listener and throttle a producer.
+
+    ``set_cap`` is any callable accepting the new rate bound (records/s);
+    in the experiments it is ``DataGenerator.set_rate_cap``.
+    """
+
+    def __init__(
+        self,
+        listener: StreamingListener,
+        set_cap,
+        estimator: Optional[PIDRateEstimator] = None,
+        max_rate: Optional[float] = None,
+    ) -> None:
+        self.estimator = estimator or PIDRateEstimator()
+        self._set_cap = set_cap
+        self.max_rate = max_rate
+        self.updates = 0
+        self.last_rate: Optional[float] = None
+        listener.subscribe(self.on_batch_completed)
+
+    def on_batch_completed(self, info: BatchInfo) -> None:
+        rate = self.estimator.compute(
+            time=info.processing_end,
+            num_elements=info.records,
+            processing_delay=info.processing_time,
+            scheduling_delay=info.scheduling_delay,
+            batch_interval=info.interval,
+        )
+        if rate is None:
+            return
+        if self.max_rate is not None:
+            rate = min(rate, self.max_rate)
+        self._set_cap(rate)
+        self.last_rate = rate
+        self.updates += 1

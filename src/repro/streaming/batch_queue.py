@@ -1,0 +1,90 @@
+"""Batch queue.
+
+Spark Streaming enqueues each closed micro-batch and the engine drains
+the queue one job at a time (``spark.streaming.concurrentJobs = 1``, the
+default the paper assumes).  When batch processing time exceeds the batch
+interval, "the unprocessed batches would pile up in the batch queue"
+(§3.1) — the queue's length over time is the instability signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.engine.job import BatchJob
+
+
+@dataclass(frozen=True)
+class QueuedBatch:
+    """A closed batch waiting for the engine."""
+
+    job: BatchJob
+    enqueued_at: float
+    mean_arrival_time: float
+    interval: float
+
+
+class BatchQueue:
+    """FIFO queue of closed batches with occupancy accounting."""
+
+    def __init__(self, max_length: Optional[int] = None) -> None:
+        if max_length is not None and max_length < 1:
+            raise ValueError("max_length must be >= 1 when set")
+        self._queue: Deque[QueuedBatch] = deque()
+        self.max_length = max_length
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+        self.total_dropped = 0
+        self.peak_length = 0
+        #: (time, length) samples for instability analysis.
+        self.length_history: List[Tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue
+
+    def enqueue(self, batch: QueuedBatch) -> bool:
+        """Add a closed batch; returns False if an old batch was evicted.
+
+        A bounded queue models the "possible data loss or system failure"
+        the paper warns about for long-running unstable applications: at
+        capacity the *oldest* waiting batch is evicted (its records are
+        lost, as with Kafka retention expiry under deep consumer lag) so
+        the newest data keeps flowing — a backlogged direct stream never
+        blocks ingestion.
+        """
+        dropped = False
+        if self.max_length is not None and len(self._queue) >= self.max_length:
+            self._queue.popleft()
+            self.total_dropped += 1
+            dropped = True
+        self._queue.append(batch)
+        self.total_enqueued += 1
+        self.peak_length = max(self.peak_length, len(self._queue))
+        self.length_history.append((batch.enqueued_at, len(self._queue)))
+        return not dropped
+
+    def dequeue(self, now: float) -> QueuedBatch:
+        """Pop the oldest batch for processing."""
+        if not self._queue:
+            raise IndexError("dequeue from empty batch queue")
+        batch = self._queue.popleft()
+        if now + 1e-9 < batch.enqueued_at:
+            raise ValueError(
+                f"dequeue at {now} before batch enqueued at {batch.enqueued_at}"
+            )
+        self.total_dequeued += 1
+        self.length_history.append((now, len(self._queue)))
+        return batch
+
+    def conservation_ok(self) -> bool:
+        """Invariant: every enqueued batch was dequeued, evicted, or waits."""
+        return (
+            self.total_enqueued
+            == self.total_dequeued + self.total_dropped + len(self._queue)
+        )

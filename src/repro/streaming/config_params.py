@@ -1,0 +1,301 @@
+"""Spark Streaming configuration-parameter catalog.
+
+§3.2: "Spark Streaming provides over 150 configurable parameters, not
+all of them play an equally important role in system performance, and
+some of them can only be configured at the beginning of Spark launching
+and remain unchanged during job execution."
+
+This module catalogs the parameters relevant to this reproduction with
+their types, defaults, valid ranges, and — the property the paper's
+whole design hinges on — whether they are **runtime-tunable**.  In
+vanilla Spark only a handful are; the paper *made the batch interval
+runtime-tunable through system modification*, and executor count is
+tunable via dynamic allocation.  The catalog encodes exactly that
+tunability split, and :class:`SparkStreamingConf` provides validated
+get/set plus a bridge into :class:`~repro.streaming.context.StreamingContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One configuration parameter's metadata."""
+
+    key: str
+    type: type
+    default: Any
+    runtime_tunable: bool
+    description: str
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[Tuple[Any, ...]] = None
+    nostop_patched: bool = False
+    """True when runtime tunability comes from the paper's Spark patch,
+    not vanilla Spark."""
+
+    def validate(self, value: Any) -> Any:
+        """Coerce and range-check a candidate value."""
+        if self.type is bool and isinstance(value, str):
+            lowered = value.lower()
+            if lowered not in ("true", "false"):
+                raise ValueError(f"{self.key}: expected true/false, got {value!r}")
+            value = lowered == "true"
+        try:
+            coerced = self.type(value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{self.key}: cannot interpret {value!r} as {self.type.__name__}"
+            ) from None
+        if self.choices is not None and coerced not in self.choices:
+            raise ValueError(
+                f"{self.key}: {coerced!r} not in allowed choices {self.choices}"
+            )
+        if self.minimum is not None and coerced < self.minimum:
+            raise ValueError(
+                f"{self.key}: {coerced} below minimum {self.minimum}"
+            )
+        if self.maximum is not None and coerced > self.maximum:
+            raise ValueError(
+                f"{self.key}: {coerced} above maximum {self.maximum}"
+            )
+        return coerced
+
+
+def _catalog() -> Dict[str, ParamSpec]:
+    specs = [
+        # --- the two parameters NoStop tunes -----------------------------
+        ParamSpec(
+            "spark.streaming.batchInterval", float, 10.0, True,
+            "Micro-batch interval in seconds; runtime-tunable ONLY via the "
+            "paper's Spark modification (vanilla Spark fixes it at "
+            "StreamingContext creation).",
+            minimum=0.001, nostop_patched=True,
+        ),
+        ParamSpec(
+            "spark.executor.instances", int, 2, True,
+            "Executor count; runtime-tunable through dynamic allocation.",
+            minimum=1,
+        ),
+        # --- launch-time-only resources (§3.2's explicit examples) -------
+        ParamSpec(
+            "spark.executor.memory", str, "1g", False,
+            "Memory per executor; fixed for the executor's lifetime.",
+        ),
+        ParamSpec(
+            "spark.executor.cores", int, 1, False,
+            "Cores per executor; fixed at launch.",
+            minimum=1, maximum=64,
+        ),
+        ParamSpec(
+            "spark.driver.memory", str, "1g", False,
+            "Driver memory; fixed at launch.",
+        ),
+        # --- streaming engine behaviour ----------------------------------
+        ParamSpec(
+            "spark.streaming.concurrentJobs", int, 1, False,
+            "Batch jobs processed concurrently; the paper (and this "
+            "simulator) assume the default of 1.",
+            minimum=1, maximum=8,
+        ),
+        ParamSpec(
+            "spark.streaming.blockInterval", float, 0.2, False,
+            "Receiver block generation interval (seconds).",
+            minimum=0.01,
+        ),
+        ParamSpec(
+            "spark.streaming.unpersist", bool, True, False,
+            "Automatically unpersist processed RDDs.",
+        ),
+        ParamSpec(
+            "spark.streaming.stopGracefullyOnShutdown", bool, False, False,
+            "Drain the queue before stopping.",
+        ),
+        ParamSpec(
+            "spark.streaming.queue.maxBatches", int, 0, False,
+            "Bound on queued batches before oldest-eviction data loss "
+            "(0 = unbounded; simulator extension, see DESIGN.md).",
+            minimum=0,
+        ),
+        # --- back pressure -------------------------------------------------
+        ParamSpec(
+            "spark.streaming.backpressure.enabled", bool, False, True,
+            "PID-based ingestion throttling (the paper's comparison "
+            "baseline).",
+        ),
+        ParamSpec(
+            "spark.streaming.backpressure.pid.proportional", float, 1.0, True,
+            "PID proportional gain.", minimum=0.0,
+        ),
+        ParamSpec(
+            "spark.streaming.backpressure.pid.integral", float, 0.2, True,
+            "PID integral (backlog) gain.", minimum=0.0,
+        ),
+        ParamSpec(
+            "spark.streaming.backpressure.pid.derived", float, 0.0, True,
+            "PID derivative gain.", minimum=0.0,
+        ),
+        ParamSpec(
+            "spark.streaming.backpressure.pid.minRate", float, 100.0, True,
+            "Rate floor (records/s).", minimum=1.0,
+        ),
+        ParamSpec(
+            "spark.streaming.kafka.maxRatePerPartition", float, 0.0, True,
+            "Static per-partition ingestion cap (0 = unlimited).",
+            minimum=0.0,
+        ),
+        # --- job shape -----------------------------------------------------
+        ParamSpec(
+            "spark.default.parallelism", int, 40, False,
+            "Default partition count for shuffles; tunable per job in "
+            "code, not live — NoStop's 3-parameter extension makes it an "
+            "online tunable (see repro.core.bounds.multi_parameter_space).",
+            minimum=1, nostop_patched=True,
+        ),
+        ParamSpec(
+            "spark.task.maxFailures", int, 4, False,
+            "Task attempts before the job is aborted.",
+            minimum=1, maximum=16,
+        ),
+        ParamSpec(
+            "spark.locality.wait", float, 3.0, False,
+            "Seconds to wait for locality before relaxing placement.",
+            minimum=0.0,
+        ),
+        ParamSpec(
+            "spark.serializer", str,
+            "org.apache.spark.serializer.JavaSerializer", False,
+            "Serialization backend.",
+            choices=(
+                "org.apache.spark.serializer.JavaSerializer",
+                "org.apache.spark.serializer.KryoSerializer",
+            ),
+        ),
+    ]
+    return {s.key: s for s in specs}
+
+
+#: The parameter catalog, keyed by Spark property name.
+SPARK_STREAMING_PARAMS: Dict[str, ParamSpec] = _catalog()
+
+
+class SparkStreamingConf:
+    """Validated configuration object over the parameter catalog.
+
+    Mirrors ``SparkConf``'s set/get surface; rejects unknown keys and
+    invalid values, and answers the question the paper's design starts
+    from: *which parameters may change while the application runs?*
+    """
+
+    def __init__(self, overrides: Optional[Dict[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = {
+            key: spec.default for key, spec in SPARK_STREAMING_PARAMS.items()
+        }
+        self._launched = False
+        for key, value in (overrides or {}).items():
+            self.set(key, value)
+
+    # -- set/get -----------------------------------------------------------
+
+    def spec(self, key: str) -> ParamSpec:
+        try:
+            return SPARK_STREAMING_PARAMS[key]
+        except KeyError:
+            raise KeyError(f"unknown configuration parameter {key!r}") from None
+
+    def get(self, key: str) -> Any:
+        self.spec(key)
+        return self._values[key]
+
+    def set(self, key: str, value: Any) -> "SparkStreamingConf":
+        spec = self.spec(key)
+        if self._launched and not spec.runtime_tunable:
+            raise RuntimeError(
+                f"{key} can only be configured at launch (§3.2); "
+                "restart the application to change it"
+            )
+        self._values[key] = spec.validate(value)
+        return self
+
+    def mark_launched(self) -> None:
+        """Freeze launch-time-only parameters (application started)."""
+        self._launched = True
+
+    # -- queries -------------------------------------------------------------
+
+    @staticmethod
+    def runtime_tunable_keys() -> Tuple[str, ...]:
+        return tuple(
+            k for k, s in SPARK_STREAMING_PARAMS.items() if s.runtime_tunable
+        )
+
+    @staticmethod
+    def launch_only_keys() -> Tuple[str, ...]:
+        return tuple(
+            k for k, s in SPARK_STREAMING_PARAMS.items() if not s.runtime_tunable
+        )
+
+    @staticmethod
+    def nostop_patched_keys() -> Tuple[str, ...]:
+        """Parameters whose online tunability required the paper's patch."""
+        return tuple(
+            k for k, s in SPARK_STREAMING_PARAMS.items() if s.nostop_patched
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._values)
+
+
+def deploy_from_conf(
+    conf: SparkStreamingConf,
+    cluster,
+    workload,
+    generator,
+    seed: int = 0,
+):
+    """Build a running deployment from a :class:`SparkStreamingConf`.
+
+    Bridges the declarative configuration into the simulator: batch
+    interval, executor count, queue bound, and (when enabled) a PID
+    back-pressure controller wired to the producer.  Marks the conf as
+    launched, freezing its launch-time-only parameters.
+
+    Returns the :class:`~repro.streaming.context.StreamingContext`.
+    """
+    from .backpressure import BackPressureController, PIDRateEstimator
+    from .context import StreamingConfig, StreamingContext
+
+    queue_bound = conf.get("spark.streaming.queue.maxBatches") or None
+    context = StreamingContext(
+        cluster,
+        workload,
+        generator,
+        StreamingConfig(
+            batch_interval=conf.get("spark.streaming.batchInterval"),
+            num_executors=conf.get("spark.executor.instances"),
+        ),
+        seed=seed,
+        queue_max_length=queue_bound,
+    )
+    max_rate_per_partition = conf.get("spark.streaming.kafka.maxRatePerPartition")
+    if max_rate_per_partition > 0:
+        partitions = generator.producer.topic.num_partitions
+        generator.set_rate_cap(max_rate_per_partition * partitions)
+    if conf.get("spark.streaming.backpressure.enabled"):
+        BackPressureController(
+            context.listener,
+            generator.set_rate_cap,
+            estimator=PIDRateEstimator(
+                proportional=conf.get(
+                    "spark.streaming.backpressure.pid.proportional"
+                ),
+                integral=conf.get("spark.streaming.backpressure.pid.integral"),
+                derivative=conf.get("spark.streaming.backpressure.pid.derived"),
+                min_rate=conf.get("spark.streaming.backpressure.pid.minRate"),
+            ),
+        )
+    conf.mark_launched()
+    return context

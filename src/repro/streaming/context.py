@@ -1,0 +1,211 @@
+"""Streaming context: the user-facing simulation facade.
+
+A :class:`StreamingContext` wires the substrates together the way the
+paper's Fig. 4 architecture does — Kafka-fed receiver → batch queue →
+micro-batch engine over a dynamically sized executor pool — and exposes
+exactly the control surface NoStop needs:
+
+* :meth:`change_configuration` — runtime adjustment of batch interval and
+  executor count without restarting ("NoStop is capable of optimizing
+  system configurations online without rebooting the entire cluster");
+* :meth:`advance_batches` — run the pipeline forward;
+* :attr:`listener` — the JSON status reporter NoStop subscribes to.
+
+Time semantics: configuration changes take effect at the *next batch
+boundary* (the next formed batch uses the new interval; jobs started
+after the change use the new executor pool), matching how the authors'
+modified Spark applies reconfigurations between batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.resource_manager import ResourceManager
+from repro.datagen.generator import DataGenerator
+from repro.engine.faults import NO_FAULTS, FaultModel
+from repro.engine.overhead import DEFAULT_OVERHEAD, OverheadModel
+from repro.engine.task_scheduler import NoiseModel, TaskScheduler
+from repro.workloads.base import Workload
+
+from .batch_queue import BatchQueue, QueuedBatch
+from .listener import StreamingListener
+from .metrics import BatchInfo
+from .receiver import Receiver
+from .simulator import MicroBatchEngine
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """The two tunables of the paper: batch interval and executor count."""
+
+    batch_interval: float
+    num_executors: int
+
+    def __post_init__(self) -> None:
+        if self.batch_interval <= 0:
+            raise ValueError(
+                f"batch_interval must be positive, got {self.batch_interval}"
+            )
+        if self.num_executors < 1:
+            raise ValueError(
+                f"num_executors must be >= 1, got {self.num_executors}"
+            )
+
+
+class StreamingContext:
+    """End-to-end simulated Spark Streaming application."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload: Workload,
+        generator: DataGenerator,
+        config: StreamingConfig,
+        seed: int = 0,
+        overhead: OverheadModel = DEFAULT_OVERHEAD,
+        noise: NoiseModel = NoiseModel(),
+        queue_max_length: Optional[int] = None,
+        faults: FaultModel = NO_FAULTS,
+    ) -> None:
+        self.cluster = cluster
+        self.workload = workload
+        self.generator = generator
+        self.rng = np.random.default_rng(seed)
+        self.overhead = overhead
+
+        self.resource_manager = ResourceManager(cluster)
+        self.resource_manager.scale_to(config.num_executors, now=0.0)
+        self.receiver = Receiver(generator)
+        self.queue = BatchQueue(max_length=queue_max_length)
+        self.listener = StreamingListener()
+        self.engine = MicroBatchEngine(
+            self.resource_manager,
+            TaskScheduler(overhead=overhead, noise=noise, faults=faults),
+            self.listener,
+            self.rng,
+        )
+
+        self._interval = config.batch_interval
+        #: Simulation time of the most recent batch boundary.
+        self.time = 0.0
+        self.config_changes = 0
+
+    # -- configuration ----------------------------------------------------
+
+    @property
+    def batch_interval(self) -> float:
+        return self._interval
+
+    @property
+    def num_executors(self) -> int:
+        return self.resource_manager.executor_count
+
+    @property
+    def config(self) -> StreamingConfig:
+        return StreamingConfig(self._interval, self.num_executors)
+
+    def change_configuration(
+        self,
+        batch_interval: Optional[float] = None,
+        num_executors: Optional[int] = None,
+        partitions: Optional[int] = None,
+    ) -> None:
+        """Runtime reconfiguration (the ``changeConfigurations(θ)`` of
+        Table 1).  No-ops when all supplied values already match.
+
+        ``partitions`` retunes the workload's per-stage task count — the
+        third tunable of the paper's future-work multi-parameter
+        extension; it takes effect on the next built job.
+        """
+        new_interval = self._interval if batch_interval is None else batch_interval
+        new_execs = self.num_executors if num_executors is None else num_executors
+        if new_interval <= 0:
+            raise ValueError(f"batch_interval must be positive, got {new_interval}")
+        if new_execs < 1:
+            raise ValueError(f"num_executors must be >= 1, got {new_execs}")
+        if partitions is not None and partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        changed = False
+        if abs(new_interval - self._interval) > 1e-12:
+            self._interval = new_interval
+            changed = True
+        if new_execs != self.num_executors:
+            self.resource_manager.scale_to(new_execs, now=self.time)
+            changed = True
+        if partitions is not None and partitions != self.workload.partitions:
+            self.workload.partitions = partitions
+            changed = True
+        if changed:
+            self.config_changes += 1
+            self.engine.note_reconfiguration(self.time, self.overhead.reconfig_pause)
+
+    # -- simulation ---------------------------------------------------------
+
+    def advance_one_batch(self) -> List[BatchInfo]:
+        """Advance to the next batch boundary.
+
+        Closes one batch, enqueues its job, and starts every queued job
+        whose start time precedes the new boundary.  Returns the batches
+        completed by this step (possibly none while a long job from an
+        unstable phase is still running, possibly several as the engine
+        catches up).
+        """
+        boundary = self.time + self._interval
+        received = self.receiver.close_batch(boundary)
+        job = self.workload.build_job(boundary, received.records, self.rng)
+        self.queue.enqueue(
+            QueuedBatch(
+                job=job,
+                enqueued_at=boundary,
+                mean_arrival_time=received.mean_arrival_time,
+                interval=self._interval,
+            )
+        )
+        self.time = boundary
+        return self.engine.drain(self.queue, until=boundary + self._interval)
+
+    def advance_batches(self, n: int) -> List[BatchInfo]:
+        """Advance ``n`` batch boundaries; returns all completed batches."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        completed: List[BatchInfo] = []
+        for _ in range(n):
+            completed.extend(self.advance_one_batch())
+        return completed
+
+    def advance_until(self, t: float) -> List[BatchInfo]:
+        """Advance batch boundaries until simulation time reaches ``t``."""
+        completed: List[BatchInfo] = []
+        while self.time + self._interval <= t:
+            completed.extend(self.advance_one_batch())
+        return completed
+
+    # -- fault injection -----------------------------------------------------
+
+    def inject_executor_failure(self, executor_id: Optional[int] = None) -> int:
+        """Crash one executor (unplanned loss); returns its id.
+
+        The pool shrinks until the next :meth:`change_configuration` with
+        an explicit executor count restores it — which NoStop's next
+        Adjust call does automatically.
+        """
+        return self.resource_manager.fail_executor(executor_id)
+
+    # -- status -----------------------------------------------------------
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches formed but not yet started (queue occupancy)."""
+        return len(self.queue)
+
+    def is_stable(self, last_n: int = 5) -> bool:
+        """Stability over the last ``last_n`` completed batches."""
+        recent = self.listener.metrics.recent(last_n)
+        if not recent:
+            return True
+        return all(b.stable for b in recent)

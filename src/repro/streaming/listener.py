@@ -1,0 +1,68 @@
+"""Streaming listener.
+
+"We design Spark Streaming Listener to report real-time system status to
+NoStop in JSON format.  Based on each newly updated performance vector,
+NoStop computes the next-step configuration parameters" (§4.3).
+
+The listener receives a callback per completed batch and renders status
+reports as JSON; NoStop's metric collector subscribes to it rather than
+touching simulator internals, mirroring the paper's architecture where
+the optimizer lives outside the engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, List, Optional
+
+from .metrics import BatchInfo, StreamingMetrics
+
+BatchCallback = Callable[[BatchInfo], None]
+
+
+class StreamingListener:
+    """Collects :class:`BatchInfo` events and serves JSON status reports."""
+
+    def __init__(self) -> None:
+        self.metrics = StreamingMetrics()
+        self._subscribers: List[BatchCallback] = []
+
+    def subscribe(self, callback: BatchCallback) -> None:
+        """Register a per-batch callback (NoStop's metric collector)."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: BatchCallback) -> None:
+        self._subscribers.remove(callback)
+
+    def on_batch_completed(self, info: BatchInfo) -> None:
+        """Record a completed batch and fan out to subscribers."""
+        self.metrics.record(info)
+        for cb in self._subscribers:
+            cb(info)
+
+    # -- status reports -------------------------------------------------
+
+    def latest_status(self) -> Optional[dict]:
+        """Most recent performance vector, or None before the first batch."""
+        last = self.metrics.last
+        return last.to_dict() if last else None
+
+    def status_json(self, last_n: int = 1) -> str:
+        """JSON status report covering the last ``last_n`` batches."""
+        if last_n < 1:
+            raise ValueError("last_n must be >= 1")
+        recent = self.metrics.recent(last_n)
+        payload = {
+            "batches": [b.to_dict() for b in recent],
+            "totalBatches": len(self.metrics),
+            "totalRecords": self.metrics.total_records(),
+        }
+        return json.dumps(payload)
+
+    @staticmethod
+    def parse_status(report: str) -> dict:
+        """Parse a :meth:`status_json` report back into a dict."""
+        payload = json.loads(report)
+        if "batches" not in payload:
+            raise ValueError("malformed status report: missing 'batches'")
+        return payload

@@ -1,0 +1,135 @@
+"""Streaming batch metrics.
+
+Definitions follow the paper exactly:
+
+* **batch interval** — wall time between consecutive batch closes (the
+  tunable parameter);
+* **batch processing time** — engine time from job start to last task
+  completion;
+* **batch schedule delay** — "the time duration a batch must wait before
+  it starts to be processed" (§3.2): zero when the engine is idle at the
+  batch boundary, positive when earlier batches are still running;
+* **end-to-end delay** — "the duration from the time when the system
+  receives a data entry to the time when a corresponding output is
+  produced" (§1), averaged over the records in a batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class BatchInfo:
+    """Complete record of one processed micro-batch."""
+
+    batch_index: int
+    batch_time: float
+    """Simulation time at which the batch closed (arrival cutoff)."""
+    interval: float
+    """Batch interval in force when this batch was formed (seconds)."""
+    records: int
+    num_executors: int
+    mean_arrival_time: float
+    """Record-weighted mean arrival time of the batch's records."""
+    processing_start: float
+    processing_end: float
+    first_after_reconfig: bool = False
+    """True for the first batch processed after a configuration change
+    (discarded by NoStop's metric collector, §5.4)."""
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if self.records < 0:
+            raise ValueError("records must be >= 0")
+        if self.processing_start < self.batch_time - 1e-9:
+            raise ValueError(
+                f"batch {self.batch_index}: processing started at "
+                f"{self.processing_start} before batch closed at {self.batch_time}"
+            )
+        if self.processing_end < self.processing_start:
+            raise ValueError("processing_end precedes processing_start")
+
+    @property
+    def processing_time(self) -> float:
+        """Batch processing time (seconds)."""
+        return self.processing_end - self.processing_start
+
+    @property
+    def scheduling_delay(self) -> float:
+        """Batch schedule delay (seconds); 0 when processed immediately."""
+        return self.processing_start - self.batch_time
+
+    @property
+    def end_to_end_delay(self) -> float:
+        """Mean record delay: output time minus mean arrival time."""
+        return self.processing_end - self.mean_arrival_time
+
+    @property
+    def stable(self) -> bool:
+        """Paper's stability condition for this batch."""
+        return self.processing_time <= self.interval
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat dict used for the listener's JSON status reports."""
+        return {
+            "batchIndex": self.batch_index,
+            "batchTime": self.batch_time,
+            "batchInterval": self.interval,
+            "numRecords": self.records,
+            "numExecutors": self.num_executors,
+            "schedulingDelay": self.scheduling_delay,
+            "processingTime": self.processing_time,
+            "endToEndDelay": self.end_to_end_delay,
+            "firstAfterReconfig": self.first_after_reconfig,
+        }
+
+
+@dataclass
+class StreamingMetrics:
+    """Rolling aggregate over processed batches."""
+
+    batches: List[BatchInfo] = field(default_factory=list)
+
+    def record(self, info: BatchInfo) -> None:
+        if self.batches and info.batch_index <= self.batches[-1].batch_index:
+            raise ValueError(
+                f"batch index {info.batch_index} not increasing "
+                f"(last was {self.batches[-1].batch_index})"
+            )
+        self.batches.append(info)
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    @property
+    def last(self) -> Optional[BatchInfo]:
+        return self.batches[-1] if self.batches else None
+
+    def recent(self, n: int) -> List[BatchInfo]:
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return self.batches[-n:] if n else []
+
+    def mean_processing_time(self, last_n: Optional[int] = None) -> float:
+        batch = self.batches if last_n is None else self.recent(last_n)
+        if not batch:
+            raise ValueError("no batches recorded")
+        return sum(b.processing_time for b in batch) / len(batch)
+
+    def mean_end_to_end_delay(self, last_n: Optional[int] = None) -> float:
+        batch = self.batches if last_n is None else self.recent(last_n)
+        if not batch:
+            raise ValueError("no batches recorded")
+        return sum(b.end_to_end_delay for b in batch) / len(batch)
+
+    def total_records(self) -> int:
+        return sum(b.records for b in self.batches)
+
+    def unstable_fraction(self) -> float:
+        """Fraction of batches violating interval >= processing time."""
+        if not self.batches:
+            return 0.0
+        return sum(1 for b in self.batches if not b.stable) / len(self.batches)

@@ -1,0 +1,70 @@
+"""Streaming receiver.
+
+Bridges the Kafka substrate and the micro-batch pipeline: at every batch
+boundary the receiver advances the external data generator to the
+boundary time, polls the direct-stream consumer for the offset ranges
+that arrived during the interval, and reports the record count plus the
+record-weighted mean arrival time (needed for end-to-end delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.generator import DataGenerator
+from repro.kafka.consumer import DirectStreamConsumer
+
+
+@dataclass(frozen=True)
+class ReceivedBatch:
+    """What the receiver hands the batch queue at a boundary."""
+
+    batch_time: float
+    records: int
+    mean_arrival_time: float
+
+
+class Receiver:
+    """Direct-stream receiver over a :class:`DataGenerator`."""
+
+    def __init__(self, generator: DataGenerator) -> None:
+        self.generator = generator
+        self.consumer = DirectStreamConsumer(generator.producer.topic)
+        self._last_poll = 0.0
+
+    @property
+    def backlog(self) -> int:
+        """Records produced but not yet pulled into any batch."""
+        return self.consumer.lag()
+
+    def observed_rate(self, window: float = 10.0) -> float:
+        """Arrival rate over the trailing window, from the trace."""
+        now = self.generator.producer.produced_until
+        if window <= 0:
+            raise ValueError("window must be positive")
+        start = max(0.0, now - window)
+        if now <= start:
+            return self.generator.trace.rate(0.0)
+        count = self.generator.trace.records_between(start, now)
+        return count / (now - start)
+
+    def close_batch(self, batch_time: float) -> ReceivedBatch:
+        """Close the batch ending at ``batch_time``.
+
+        Materializes arrivals up to the boundary and consumes exactly the
+        records that arrived since the previous boundary.
+        """
+        if batch_time < self._last_poll:
+            raise ValueError(
+                f"batch boundary {batch_time} precedes previous boundary "
+                f"{self._last_poll}"
+            )
+        self.generator.advance_to(batch_time)
+        batch = self.consumer.poll(batch_time)
+        mean_arrival = self.consumer.mean_arrival_time(batch)
+        self._last_poll = batch_time
+        return ReceivedBatch(
+            batch_time=batch_time,
+            records=batch.total_records,
+            mean_arrival_time=mean_arrival,
+        )

@@ -1,0 +1,106 @@
+"""Micro-batch engine: serialized job execution over the batch queue.
+
+Spark Streaming (with the default ``spark.streaming.concurrentJobs = 1``)
+processes one batch job at a time; a batch whose predecessor is still
+running waits in the queue and accrues *schedule delay*.  The engine here
+owns the engine-busy timeline, drains the queue causally (a job is
+started only once simulated time has reached its start), and emits a
+:class:`~repro.streaming.metrics.BatchInfo` per completed batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.resource_manager import ResourceManager
+from repro.engine.task_scheduler import JobRun, TaskScheduler
+
+from .batch_queue import BatchQueue, QueuedBatch
+from .listener import StreamingListener
+from .metrics import BatchInfo
+
+
+class MicroBatchEngine:
+    """Drains a :class:`BatchQueue` one job at a time."""
+
+    def __init__(
+        self,
+        resource_manager: ResourceManager,
+        scheduler: TaskScheduler,
+        listener: StreamingListener,
+        rng: np.random.Generator,
+    ) -> None:
+        self.resource_manager = resource_manager
+        self.scheduler = scheduler
+        self.listener = listener
+        self.rng = rng
+        #: Time at which the engine finishes its current job (busy until).
+        self.free_at = 0.0
+        self.jobs_run = 0
+        #: cumulative transient task failures across all jobs
+        self.total_task_failures = 0
+        #: Set by a configuration change; the next started job is flagged
+        #: ``first_after_reconfig`` and the flag clears.
+        self._reconfig_pending = False
+        self.last_runs: List[JobRun] = []
+        self.keep_runs = False
+
+    def note_reconfiguration(self, now: float, pause: float) -> None:
+        """Account for a runtime configuration change.
+
+        The engine pauses briefly (driver-side coordination) and the next
+        job is marked as the first after the change so metric collectors
+        can discard it (§5.4).
+        """
+        if pause < 0:
+            raise ValueError("pause must be >= 0")
+        self.free_at = max(self.free_at, now) + pause
+        self._reconfig_pending = True
+
+    def drain(self, queue: BatchQueue, until: float) -> List[BatchInfo]:
+        """Start every queued job whose start time falls before ``until``.
+
+        Returns the batches started by this call (each already completed
+        in simulated time — job durations are deterministic once started).
+        """
+        completed: List[BatchInfo] = []
+        while not queue.empty:
+            head_time = queue._queue[0].enqueued_at  # peek
+            start = max(head_time, self.free_at)
+            if start >= until:
+                break
+            qb = queue.dequeue(start)
+            info = self._run(qb, start)
+            completed.append(info)
+        return completed
+
+    def _run(self, qb: QueuedBatch, start: float) -> BatchInfo:
+        executors = self.resource_manager.executors
+        run = self.scheduler.run_job(qb.job, executors, start, self.rng)
+        self.free_at = run.finish
+        self.jobs_run += 1
+        self.total_task_failures += run.task_failures
+        if self.keep_runs:
+            self.last_runs.append(run)
+        info = BatchInfo(
+            batch_index=qb.job.job_id,
+            batch_time=qb.enqueued_at,
+            interval=qb.interval,
+            records=qb.job.records,
+            num_executors=len(executors),
+            mean_arrival_time=qb.mean_arrival_time,
+            processing_start=start,
+            processing_end=run.finish,
+            first_after_reconfig=self._reconfig_pending,
+        )
+        self._reconfig_pending = False
+        self.listener.on_batch_completed(info)
+        return info
+
+    def next_start_time(self, queue: BatchQueue) -> Optional[float]:
+        """When the head-of-queue job would start, or None if empty."""
+        if queue.empty:
+            return None
+        return max(queue._queue[0].enqueued_at, self.free_at)

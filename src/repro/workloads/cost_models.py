@@ -1,0 +1,164 @@
+"""Per-workload cost models.
+
+The DES derives task durations from these models; the constants are
+calibrated so that each workload, fed at its paper rate band (Fig. 5),
+reproduces the paper's qualitative shapes:
+
+* streaming logistic regression at ~10k records/s is stable for batch
+  intervals above ~10 s with ~10 executors (Fig. 2) and shows a U-shaped
+  processing time over executor count with stability from ~10 executors
+  (Fig. 3);
+* ML workloads have variable per-batch iteration counts and hence noisy
+  processing times; WordCount is the most stable; Page Analyze is complex
+  but steady (§6.3).
+
+Costs are in *core-seconds on a speed-1.0 node*; the scheduler divides by
+node speed factors and multiplies I/O by disk penalties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """Cost structure of one stage, linear in the record count.
+
+    Parameters
+    ----------
+    name:
+        Stage label.
+    compute_per_record:
+        Core-seconds of compute per input record per iteration.
+    io_per_record:
+        Core-seconds of SSD I/O per record (HDD nodes pay a penalty).
+    fixed_compute:
+        Constant per-task compute floor, independent of record count
+        (deserialization buffers, connection setup).
+    """
+
+    name: str
+    compute_per_record: float
+    io_per_record: float = 0.0
+    fixed_compute: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_per_record < 0 or self.io_per_record < 0:
+            raise ValueError("per-record costs must be >= 0")
+        if self.fixed_compute < 0:
+            raise ValueError("fixed_compute must be >= 0")
+
+
+@dataclass(frozen=True)
+class IterationModel:
+    """Distribution of per-batch iteration counts for convergence loops.
+
+    Streaming ML models rerun their gradient stage until (near)
+    convergence; "the batch processing time of an unfitted model usually
+    takes longer than that of a fitted model" (§6.3).  We draw the count
+    uniformly in ``[lo, hi]`` — ``lo == hi`` yields deterministic
+    single-pass workloads like WordCount.
+    """
+
+    lo: int = 1
+    hi: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise ValueError(f"need 1 <= lo <= hi, got lo={self.lo}, hi={self.hi}")
+
+    @property
+    def mean(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def draw(self, rng: np.random.Generator) -> int:
+        if self.lo == self.hi:
+            return self.lo
+        return int(rng.integers(self.lo, self.hi + 1))
+
+
+@dataclass(frozen=True)
+class WorkloadCostModel:
+    """Full cost description of a workload: stage chain + iteration law.
+
+    ``iterated_stages`` names the stages that repeat per iteration
+    (typically the gradient stage); the rest run once.
+    """
+
+    stages: Tuple[StageCost, ...]
+    iterations: IterationModel = IterationModel()
+    iterated_stages: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+        unknown = set(self.iterated_stages) - set(names)
+        if unknown:
+            raise ValueError(f"iterated_stages not in stage chain: {sorted(unknown)}")
+
+    def mean_cost_per_record(self) -> float:
+        """Expected total core-seconds per record (all stages, mean iters)."""
+        total = 0.0
+        for s in self.stages:
+            reps = self.iterations.mean if s.name in self.iterated_stages else 1.0
+            total += reps * (s.compute_per_record + s.io_per_record)
+        return total
+
+
+# --------------------------------------------------------------------------
+# Calibrated models for the four paper workloads.
+# --------------------------------------------------------------------------
+
+#: Streaming Logistic Regression — iterative SGD over labeled points.
+#: Calibrated so that at ~10k records/s with 10 executors the stability
+#: crossover sits near a 10 s interval (Fig. 2) and the interval-slope of
+#: processing time stays below 0.5 (proc time "increases slowly as the
+#: batch interval grows"), which makes the crossover the minimum of the
+#: paper's ρ-capped objective.
+LOGISTIC_REGRESSION_COSTS = WorkloadCostModel(
+    stages=(
+        StageCost("parse", compute_per_record=3.0e-5),
+        StageCost("gradient", compute_per_record=5.0e-5, fixed_compute=0.02),
+        StageCost("update", compute_per_record=0.0, fixed_compute=0.05),
+    ),
+    iterations=IterationModel(lo=4, hi=7),
+    iterated_stages=("gradient",),
+)
+
+#: Streaming Linear Regression — cheaper per record, fewer iterations,
+#: fed an order of magnitude faster ([80k, 120k] records/s).
+LINEAR_REGRESSION_COSTS = WorkloadCostModel(
+    stages=(
+        StageCost("parse", compute_per_record=4.0e-6),
+        StageCost("gradient", compute_per_record=1.2e-5, fixed_compute=0.02),
+        StageCost("update", compute_per_record=0.0, fixed_compute=0.05),
+    ),
+    iterations=IterationModel(lo=2, hi=4),
+    iterated_stages=("gradient",),
+)
+
+#: WordCount — "a simple workload as it only requires two mapping/reducing
+#: operations and has a fixed processing flow" (§6.3).
+WORDCOUNT_COSTS = WorkloadCostModel(
+    stages=(
+        StageCost("map", compute_per_record=1.2e-5),
+        StageCost("reduceByKey", compute_per_record=6.0e-6, io_per_record=1.5e-6),
+    ),
+)
+
+#: Page (Log) Analyze — wash + several transformations + HDFS write-back;
+#: complex but steady per-batch cost (§6.3).
+PAGE_ANALYZE_COSTS = WorkloadCostModel(
+    stages=(
+        StageCost("wash", compute_per_record=5.0e-6),
+        StageCost("analyze", compute_per_record=7.0e-6),
+        StageCost("aggregate", compute_per_record=2.0e-6, io_per_record=1.0e-6),
+        StageCost("hdfs_write", compute_per_record=5.0e-7, io_per_record=2.0e-6,
+                  fixed_compute=0.05),
+    ),
+)

@@ -1,0 +1,69 @@
+"""Streaming Linear Regression workload.
+
+Mirrors Spark MLlib's ``StreamingLinearRegressionWithSGD``: mini-batch
+SGD on squared loss, model persisted across batches.  Lighter per record
+than logistic regression and fed an order of magnitude faster in the
+paper ([80k, 120k] records/s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.datagen.records import LabeledPoint
+
+from .base import Workload
+from .cost_models import LINEAR_REGRESSION_COSTS, WorkloadCostModel
+
+
+class StreamingLinearRegression(Workload):
+    """Online least-squares regressor trained with mini-batch SGD."""
+
+    name = "linear_regression"
+    payload_kind = "regression_points"
+
+    def __init__(
+        self,
+        dim: int = 10,
+        step_size: float = 0.1,
+        epochs: int = 3,
+        partitions: int = 40,
+        cost_model: WorkloadCostModel = LINEAR_REGRESSION_COSTS,
+    ) -> None:
+        super().__init__(cost_model, partitions=partitions)
+        if dim < 1:
+            raise ValueError("dim must be >= 1")
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        self.dim = dim
+        self.step_size = step_size
+        self.epochs = epochs
+        self.weights = np.zeros(dim)
+        self.batches_trained = 0
+
+    def run_kernel(self, payloads: Sequence[LabeledPoint]) -> Dict[str, float]:
+        """Train on one batch; returns mean-squared error on the batch."""
+        if not payloads:
+            return {"mse": float("nan"), "n": 0}
+        x = np.array([p.features for p in payloads], dtype=float)
+        y = np.array([p.label for p in payloads], dtype=float)
+        if x.shape[1] != self.dim:
+            raise ValueError(
+                f"payload dimension {x.shape[1]} != model dimension {self.dim}"
+            )
+        n = len(y)
+        for _ in range(self.epochs):
+            resid = x @ self.weights - y
+            grad = x.T @ resid / n
+            self.weights -= self.step_size * grad
+        resid = x @ self.weights - y
+        self.batches_trained += 1
+        return {"mse": float(np.mean(resid**2)), "n": n}
+
+    def predict(self, features: Sequence[Sequence[float]]) -> np.ndarray:
+        """Point predictions for a feature matrix."""
+        return np.asarray(features, dtype=float) @ self.weights

@@ -1,0 +1,108 @@
+"""Tests for convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    DecayFit,
+    best_so_far,
+    distance_to_final,
+    fit_decay_rate,
+    regret,
+    settling_round,
+    spsa_run_diagnostics,
+)
+from repro.core.bounds import Box
+from repro.core.gains import GainSchedule
+from repro.core.spsa import SPSAOptimizer
+
+
+class TestBestSoFar:
+    def test_monotone_nonincreasing(self):
+        curve = best_so_far([5.0, 3.0, 4.0, 2.0, 6.0])
+        assert list(curve) == [5.0, 3.0, 3.0, 2.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_so_far([])
+
+
+class TestRegret:
+    def test_decreases_to_zero_at_optimum(self):
+        r = regret([5.0, 3.0, 1.0], optimum=1.0)
+        assert list(r) == [4.0, 2.0, 0.0]
+
+    def test_optimum_above_observations_rejected(self):
+        with pytest.raises(ValueError):
+            regret([5.0, 3.0], optimum=4.0)
+
+
+class TestDistanceToFinal:
+    def test_final_distance_is_zero(self):
+        d = distance_to_final([[0.0, 0.0], [3.0, 4.0], [1.0, 1.0]])
+        assert d[-1] == 0.0
+        assert d[1] == pytest.approx(np.hypot(2.0, 3.0))
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            distance_to_final([[1.0]])
+
+
+class TestSettlingRound:
+    def test_settles_where_series_stabilizes(self):
+        series = [10.0, 8.0, 5.0, 2.1, 2.0, 1.9, 2.0, 2.05]
+        assert settling_round(series, tolerance=0.2, window=3) == 3
+
+    def test_never_settles(self):
+        series = [1.0, 10.0, 1.0, 10.0, 0.0]
+        assert settling_round(series, tolerance=0.5, window=3) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            settling_round([1.0], tolerance=-1.0)
+        with pytest.raises(ValueError):
+            settling_round([], tolerance=1.0)
+
+
+class TestFitDecayRate:
+    def test_recovers_known_power_law(self):
+        k = np.arange(1, 200)
+        d = 5.0 * k ** -0.6
+        fit = fit_decay_rate(d)
+        assert fit.beta == pytest.approx(0.6, abs=0.01)
+        assert fit.r_squared > 0.99
+        assert fit.converging
+
+    def test_flat_series_has_zero_beta(self):
+        fit = fit_decay_rate([2.0] * 20)
+        assert fit.beta == pytest.approx(0.0, abs=1e-9)
+        assert not fit.converging
+
+    def test_all_zero_distances(self):
+        fit = fit_decay_rate([0.0, 0.0, 0.0])
+        assert fit.beta == float("inf")
+
+    def test_needs_three_points(self):
+        with pytest.raises(ValueError):
+            fit_decay_rate([1.0, 0.5])
+
+
+class TestSPSARunDiagnostics:
+    def test_diagnostics_on_converging_run(self):
+        opt = SPSAOptimizer(
+            gains=GainSchedule(a=2.0, c=0.3),
+            box=Box([0.0, 0.0], [10.0, 10.0]),
+            theta_initial=[9.0, 9.0],
+            seed=0,
+        )
+        target = np.array([3.0, 3.0])
+        opt.minimize(lambda t: float(np.sum((t - target) ** 2)), iterations=150)
+        diag = spsa_run_diagnostics(opt.history)
+        assert diag["iterations"] == 150
+        assert diag["best_objective"] < 1.0
+        assert diag["final_distance_start"] > 5.0
+        assert diag["decay"].converging
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            spsa_run_diagnostics([])

@@ -1,0 +1,56 @@
+"""Unit tests for acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.acquisition import expected_improvement, lower_confidence_bound
+
+
+class TestExpectedImprovement:
+    def test_prefers_lower_mean(self):
+        ei = expected_improvement(
+            mean=np.array([1.0, 5.0]), std=np.array([1.0, 1.0]), best=3.0
+        )
+        assert ei[0] > ei[1]
+
+    def test_prefers_higher_uncertainty_at_equal_mean(self):
+        ei = expected_improvement(
+            mean=np.array([3.0, 3.0]), std=np.array([0.1, 2.0]), best=3.0
+        )
+        assert ei[1] > ei[0]
+
+    def test_zero_std_deterministic_improvement(self):
+        ei = expected_improvement(
+            mean=np.array([1.0, 5.0]), std=np.array([0.0, 0.0]), best=3.0, xi=0.0
+        )
+        assert ei[0] == pytest.approx(2.0)
+        assert ei[1] == 0.0
+
+    def test_always_nonnegative(self):
+        rng = np.random.default_rng(0)
+        ei = expected_improvement(
+            mean=rng.normal(size=100), std=np.abs(rng.normal(size=100)), best=0.0
+        )
+        assert np.all(ei >= 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(2), np.zeros(3), best=0.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(1), np.array([-1.0]), best=0.0)
+
+
+class TestLowerConfidenceBound:
+    def test_lcb_below_mean(self):
+        lcb = lower_confidence_bound(np.array([5.0]), np.array([1.0]), kappa=2.0)
+        assert lcb[0] == pytest.approx(3.0)
+
+    def test_kappa_zero_is_mean(self):
+        mean = np.array([1.0, 2.0])
+        assert np.allclose(lower_confidence_bound(mean, np.ones(2), kappa=0.0), mean)
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError):
+            lower_confidence_bound(np.zeros(1), np.ones(1), kappa=-1.0)

@@ -1,0 +1,115 @@
+"""Tests for the simulated-annealing baseline."""
+
+import pytest
+
+from repro.baselines.annealing import run_simulated_annealing
+from repro.experiments.common import build_experiment
+
+
+class TestSimulatedAnnealing:
+    def test_reports_comparable_axes(self):
+        setup = build_experiment("wordcount", seed=9)
+        report = run_simulated_annealing(
+            setup.system, setup.scaler, max_evaluations=20, seed=9
+        )
+        assert 1 <= report.config_steps <= 20
+        assert report.search_time > 0
+        assert report.accepted >= 0
+        assert report.final_temperature < 10.0  # cooled
+
+    def test_finds_better_than_start(self):
+        setup = build_experiment("wordcount", seed=10)
+        report = run_simulated_annealing(
+            setup.system, setup.scaler, max_evaluations=30, seed=10
+        )
+        start = report.evaluations[0]
+        best = report.best()
+        assert best.objective <= start.objective
+
+    def test_accepts_some_moves(self):
+        setup = build_experiment("wordcount", seed=11)
+        report = run_simulated_annealing(
+            setup.system, setup.scaler, max_evaluations=25, seed=11
+        )
+        assert report.accepted > 0
+
+    def test_deterministic_given_seed(self):
+        thetas = []
+        for _ in range(2):
+            setup = build_experiment("wordcount", seed=12)
+            report = run_simulated_annealing(
+                setup.system, setup.scaler, max_evaluations=6, seed=12
+            )
+            thetas.append([e.theta for e in report.evaluations])
+        assert thetas[0] == thetas[1]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_evaluations": 0},
+        {"cooling": 1.0},
+        {"cooling": 0.0},
+        {"initial_temperature": 0.0},
+        {"neighbour_scale": 0.0},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        setup = build_experiment("wordcount", seed=13)
+        with pytest.raises(ValueError):
+            run_simulated_annealing(setup.system, setup.scaler, **kwargs)
+
+
+class TestNoStopUnderFailures:
+    """NoStop's transparency to infrastructure churn (contribution #5)."""
+
+    def test_optimization_survives_executor_crash(self):
+        setup = build_experiment("wordcount", seed=14)
+        from repro.experiments.common import make_controller
+
+        controller = make_controller(setup, seed=14)
+        controller.run(5)
+        # Crash two executors mid-optimization.
+        setup.context.inject_executor_failure()
+        setup.context.inject_executor_failure()
+        shrunk = setup.context.num_executors
+        controller.run(10)
+        best = controller.pause_rule.best_config()
+        # The next Adjust call restored an explicit executor count.
+        assert setup.context.num_executors != shrunk or \
+            setup.context.num_executors >= 1
+        assert setup.context.resource_manager.executor_failures == 2
+        assert best.stable
+
+    def test_task_faults_slow_but_do_not_break_tuning(self):
+        from repro.engine.faults import FaultModel
+        from repro.experiments.common import make_controller
+        from repro.streaming.context import StreamingConfig, StreamingContext
+        from repro.cluster.cluster import paper_cluster
+        from repro.kafka.cluster import paper_kafka_cluster
+        from repro.datagen.generator import DataGenerator
+        from repro.datagen.rates import paper_rate_trace
+        from repro.workloads import make_workload
+        from repro.core.system import SimulatedSparkSystem
+        from repro.core.bounds import paper_configuration_space
+        from repro.experiments.common import ExperimentSetup
+
+        cluster = paper_cluster()
+        kafka = paper_kafka_cluster(cluster.total_cores)
+        workload = make_workload("wordcount")
+        gen = DataGenerator(
+            kafka.topic("events"), paper_rate_trace("wordcount", seed=15),
+            payload_kind="text", seed=15,
+        )
+        ctx = StreamingContext(
+            cluster, workload, gen, StreamingConfig(10.0, 10), seed=15,
+            queue_max_length=25, faults=FaultModel(task_failure_prob=0.05),
+        )
+        setup = ExperimentSetup(
+            cluster=cluster, kafka=kafka, workload=workload, generator=gen,
+            context=ctx, system=SimulatedSparkSystem(ctx),
+            scaler=paper_configuration_space(),
+        )
+        controller = make_controller(setup, seed=15)
+        controller.run(20)
+        best = controller.pause_rule.best_config()
+        assert best.stable
+        # Faults actually fired during the run.
+        assert ctx.engine.total_task_failures > 0
+        assert ctx.engine.jobs_run > 0

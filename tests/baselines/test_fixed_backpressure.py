@@ -1,0 +1,71 @@
+"""Tests for the fixed-configuration and back-pressure run harnesses."""
+
+import pytest
+
+from repro.baselines.backpressure import run_backpressure
+from repro.baselines.fixed import (
+    DEFAULT_CONFIGURATION,
+    run_fixed_configuration,
+)
+from repro.experiments.common import build_experiment
+
+
+class TestFixedConfiguration:
+    def test_stable_run_reports_metrics(self):
+        setup = build_experiment(
+            "wordcount", seed=1, batch_interval=5.0, num_executors=14
+        )
+        r = run_fixed_configuration(setup.context, batches=20, warmup=3)
+        assert r.batches >= 15
+        assert r.mean_processing_time > 0
+        assert r.unstable_fraction < 0.3
+        assert r.mean_end_to_end_delay > r.mean_processing_time
+
+    def test_default_config_is_suboptimal(self):
+        # Fig. 7's baseline: default (20 s, 10 executors) delay is large.
+        setup = build_experiment(
+            "wordcount",
+            seed=1,
+            batch_interval=DEFAULT_CONFIGURATION.batch_interval,
+            num_executors=DEFAULT_CONFIGURATION.num_executors,
+        )
+        r = run_fixed_configuration(setup.context, batches=20, warmup=3)
+        assert r.mean_end_to_end_delay > 15.0
+
+    def test_validation(self):
+        setup = build_experiment("wordcount", seed=1)
+        with pytest.raises(ValueError):
+            run_fixed_configuration(setup.context, batches=0)
+        with pytest.raises(ValueError):
+            run_fixed_configuration(setup.context, batches=5, warmup=5)
+
+
+class TestBackPressureHarness:
+    def test_overloaded_system_gets_throttled(self):
+        # 6 executors at the wordcount band cannot keep up at a 2 s
+        # interval without throttling.
+        setup = build_experiment(
+            "wordcount", seed=2, batch_interval=2.0, num_executors=6
+        )
+        r = run_backpressure(setup.context, batches=40, warmup=5)
+        assert r.throttled_records > 0
+        assert 0.0 < r.throttled_fraction < 1.0
+        assert r.final_rate_cap < 200_000
+
+    def test_backpressure_does_not_shrink_interval(self):
+        # The key NoStop-vs-backpressure contrast: delay stays pinned to
+        # the static interval.
+        setup = build_experiment(
+            "wordcount", seed=2,
+            batch_interval=DEFAULT_CONFIGURATION.batch_interval,
+            num_executors=DEFAULT_CONFIGURATION.num_executors,
+        )
+        r = run_backpressure(setup.context, batches=25, warmup=3)
+        assert r.mean_end_to_end_delay >= DEFAULT_CONFIGURATION.batch_interval / 2
+
+    def test_stable_system_barely_throttled(self):
+        setup = build_experiment(
+            "wordcount", seed=3, batch_interval=6.0, num_executors=16
+        )
+        r = run_backpressure(setup.context, batches=25, warmup=3)
+        assert r.throttled_fraction < 0.10

@@ -1,0 +1,80 @@
+"""Unit tests for the from-scratch Gaussian process."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gp import GaussianProcess, rbf_kernel
+
+
+class TestRBFKernel:
+    def test_diagonal_is_signal_variance(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]])
+        k = rbf_kernel(x, x, np.array([1.0, 1.0]), signal_var=2.0)
+        assert np.allclose(np.diag(k), 2.0)
+
+    def test_decays_with_distance(self):
+        x = np.array([[0.0]])
+        y = np.array([[0.0], [1.0], [5.0]])
+        k = rbf_kernel(x, y, np.array([1.0]), 1.0)[0]
+        assert k[0] > k[1] > k[2]
+
+    def test_length_scale_widens_kernel(self):
+        x = np.array([[0.0]])
+        y = np.array([[2.0]])
+        narrow = rbf_kernel(x, y, np.array([0.5]), 1.0)[0, 0]
+        wide = rbf_kernel(x, y, np.array([5.0]), 1.0)[0, 0]
+        assert wide > narrow
+
+
+class TestGaussianProcess:
+    def test_interpolates_noiseless_data(self):
+        x = np.linspace(0, 10, 12).reshape(-1, 1)
+        y = np.sin(x).ravel()
+        gp = GaussianProcess(length_scales=[2.0], noise_var=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        gp = GaussianProcess(length_scales=[1.0], noise_var=1e-6).fit(
+            [[0.0], [1.0]], [0.0, 1.0]
+        )
+        _, near = gp.predict([[0.5]])
+        _, far = gp.predict([[10.0]])
+        assert far[0] > near[0]
+
+    def test_prediction_reasonable_between_points(self):
+        x = np.linspace(0, 10, 20).reshape(-1, 1)
+        y = (x.ravel() - 5.0) ** 2
+        gp = GaussianProcess(length_scales=[1.5], noise_var=1e-4).fit(x, y)
+        mean, _ = gp.predict([[5.0]])
+        assert abs(mean[0] - 0.0) < 2.0
+
+    def test_scalar_length_scale_broadcasts(self):
+        gp = GaussianProcess(length_scales=[1.0]).fit(
+            [[0.0, 0.0], [1.0, 1.0]], [0.0, 1.0]
+        )
+        assert gp.length_scales.shape == (2,)
+
+    def test_noise_var_smooths(self):
+        x = [[0.0], [0.0]]
+        y = [1.0, -1.0]  # contradictory observations need noise
+        gp = GaussianProcess(noise_var=0.5).fit(x, y)
+        mean, _ = gp.predict([[0.0]])
+        assert abs(mean[0]) < 0.5
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict([[0.0]])
+
+    def test_mismatched_xy_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit([[0.0], [1.0]], [0.0])
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(length_scales=[0.0])
+        with pytest.raises(ValueError):
+            GaussianProcess(signal_var=0.0)
+        with pytest.raises(ValueError):
+            GaussianProcess(noise_var=-1.0)

@@ -1,0 +1,111 @@
+"""Tests for the BO / random-search / grid-search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bayesian import BayesianOptimizer, run_bayesian_optimization
+from repro.baselines.grid_search import grid_points, run_grid_search
+from repro.baselines.random_search import run_random_search
+from repro.core.bounds import Box
+from repro.experiments.common import build_experiment
+
+
+class TestBayesianOptimizerSynthetic:
+    def test_ask_within_box(self):
+        box = Box([0.0, 0.0], [10.0, 10.0])
+        opt = BayesianOptimizer(box, seed=0)
+        for _ in range(8):
+            theta = opt.ask()
+            assert box.contains(theta)
+            opt.tell(theta, float(np.sum(theta**2)))
+
+    def test_converges_toward_minimum_of_quadratic(self):
+        box = Box([0.0, 0.0], [10.0, 10.0])
+        opt = BayesianOptimizer(box, seed=1, init_points=5)
+        target = np.array([3.0, 7.0])
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            theta = opt.ask()
+            y = float(np.sum((theta - target) ** 2) + rng.normal(0, 0.1))
+            opt.tell(theta, y)
+        assert np.linalg.norm(opt.best_theta() - target) < 2.0
+
+    def test_tell_outside_box_rejected(self):
+        opt = BayesianOptimizer(Box([0.0], [1.0]), seed=0)
+        with pytest.raises(ValueError):
+            opt.tell([2.0], 1.0)
+
+    def test_tell_nonfinite_rejected(self):
+        opt = BayesianOptimizer(Box([0.0], [1.0]), seed=0)
+        with pytest.raises(ValueError):
+            opt.tell([0.5], float("inf"))
+
+    def test_best_theta_requires_observations(self):
+        with pytest.raises(RuntimeError):
+            BayesianOptimizer(Box([0.0], [1.0])).best_theta()
+
+
+class TestBOAgainstLiveSystem:
+    def test_run_reports_fig8_axes(self):
+        setup = build_experiment("wordcount", seed=2)
+        report = run_bayesian_optimization(
+            setup.system, setup.scaler, max_evaluations=15, seed=2
+        )
+        assert report.config_steps == len(report.evaluations) <= 15
+        assert report.search_time > 0
+        assert report.final_delay is not None
+        assert report.best().objective == min(e.objective for e in report.evaluations)
+
+    def test_finds_reasonable_config(self):
+        setup = build_experiment("wordcount", seed=3)
+        report = run_bayesian_optimization(
+            setup.system, setup.scaler, max_evaluations=25, seed=3
+        )
+        # Default config delay is >= 20 s; BO must do much better.
+        assert report.final_delay < 15.0
+
+
+class TestRandomSearch:
+    def test_explores_and_reports(self):
+        setup = build_experiment("wordcount", seed=4)
+        report = run_random_search(
+            setup.system, setup.scaler, max_evaluations=12, seed=4
+        )
+        assert len(report.evaluations) <= 12
+        assert report.best().objective <= report.evaluations[0].objective
+        assert report.search_time > 0
+
+    def test_deterministic_given_seed(self):
+        thetas = []
+        for _ in range(2):
+            setup = build_experiment("wordcount", seed=5)
+            report = run_random_search(
+                setup.system, setup.scaler, max_evaluations=4, seed=5
+            )
+            thetas.append([e.theta for e in report.evaluations])
+        assert thetas[0] == thetas[1]
+
+
+class TestGridSearch:
+    def test_grid_points_cover_box(self):
+        setup = build_experiment("wordcount", seed=6)
+        pts = grid_points(setup.scaler, points_per_axis=4)
+        assert pts.shape == (16, 2)
+        assert np.allclose(pts.min(axis=0), setup.scaler.scaled.lower)
+        assert np.allclose(pts.max(axis=0), setup.scaler.scaled.upper)
+
+    def test_exhaustive_cost_exceeds_spsa(self):
+        # The §1 argument: grid search burns far more config changes.
+        setup = build_experiment("wordcount", seed=6)
+        report = run_grid_search(
+            setup.system, setup.scaler, points_per_axis=3
+        )
+        assert report.config_changes >= 8
+        assert len(report.evaluations) == 9
+
+    def test_max_evaluations_truncates(self):
+        setup = build_experiment("wordcount", seed=7)
+        report = run_grid_search(
+            setup.system, setup.scaler, points_per_axis=4, max_evaluations=5
+        )
+        assert len(report.evaluations) == 5

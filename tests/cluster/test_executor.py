@@ -1,0 +1,43 @@
+"""Unit tests for the executor model."""
+
+import pytest
+
+from repro.cluster.executor import (
+    DEFAULT_EXECUTOR_CORES,
+    DEFAULT_EXECUTOR_MEMORY_GB,
+    Executor,
+)
+from repro.cluster.node import I5_9400, XEON_BRONZE_3204, DiskType, Node, NodeRole
+
+
+@pytest.fixture
+def worker():
+    return Node(2, I5_9400, DiskType.SSD, NodeRole.WORKER)
+
+
+class TestExecutor:
+    def test_paper_default_sizing(self):
+        # §6.2.1: "we allocate one CPU core and 1GB of memory to each executor"
+        assert DEFAULT_EXECUTOR_CORES == 1
+        assert DEFAULT_EXECUTOR_MEMORY_GB == 1.0
+
+    def test_inherits_node_speed(self):
+        slow = Node(3, XEON_BRONZE_3204, DiskType.HDD, NodeRole.WORKER)
+        e = Executor(1, slow)
+        assert e.speed_factor == XEON_BRONZE_3204.speed_factor
+        assert e.io_penalty == DiskType.HDD.io_penalty
+
+    def test_starts_uninitialized(self, worker):
+        e = Executor(1, worker, launched_at=42.0)
+        assert not e.initialized
+        assert e.launched_at == 42.0
+        e.mark_initialized()
+        assert e.initialized
+
+    def test_zero_cores_rejected(self, worker):
+        with pytest.raises(ValueError):
+            Executor(1, worker, cores=0)
+
+    def test_zero_memory_rejected(self, worker):
+        with pytest.raises(ValueError):
+            Executor(1, worker, memory_gb=0.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the node model."""
+
+import pytest
+
+from repro.cluster.node import (
+    I5_9400,
+    I5_10400,
+    XEON_BRONZE_3204,
+    CpuSpec,
+    DiskType,
+    Node,
+    NodeRole,
+)
+
+
+class TestCpuSpec:
+    def test_paper_specs_match_table2(self):
+        assert I5_9400.clock_ghz == 2.9
+        assert XEON_BRONZE_3204.clock_ghz == 1.9
+        assert I5_10400.clock_ghz == 2.9
+
+    def test_xeon_is_slower_than_i5(self):
+        assert XEON_BRONZE_3204.speed_factor < I5_9400.speed_factor
+
+    @pytest.mark.parametrize("field,value", [
+        ("clock_ghz", 0.0),
+        ("clock_ghz", -1.0),
+        ("cores", 0),
+        ("speed_factor", 0.0),
+    ])
+    def test_invalid_spec_rejected(self, field, value):
+        kwargs = dict(model="x", clock_ghz=2.0, cores=4, speed_factor=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            CpuSpec(**kwargs)
+
+
+class TestDiskType:
+    def test_hdd_has_io_penalty(self):
+        assert DiskType.HDD.io_penalty > DiskType.SSD.io_penalty
+        assert DiskType.SSD.io_penalty == 1.0
+
+
+class TestNodeCapacity:
+    def test_worker_capacity_equals_cores(self):
+        n = Node(2, I5_9400, DiskType.SSD, NodeRole.WORKER)
+        assert n.executor_capacity == I5_9400.cores
+
+    def test_master_hosts_no_executors(self):
+        n = Node(1, I5_9400, DiskType.SSD, NodeRole.MASTER)
+        assert n.executor_capacity == 0
+        assert not n.can_host(1, 1.0)
+
+    def test_allocate_release_roundtrip(self):
+        n = Node(2, I5_9400, role=NodeRole.WORKER, memory_gb=4.0)
+        n.allocate(2, 2.0)
+        assert n.free_cores == I5_9400.cores - 2
+        assert n.free_memory_gb == 2.0
+        n.release(2, 2.0)
+        assert n.free_cores == I5_9400.cores
+        assert n.free_memory_gb == 4.0
+
+    def test_allocate_beyond_cores_raises(self):
+        n = Node(2, I5_9400, role=NodeRole.WORKER)
+        with pytest.raises(RuntimeError):
+            n.allocate(I5_9400.cores + 1, 1.0)
+
+    def test_allocate_beyond_memory_raises(self):
+        n = Node(2, I5_9400, role=NodeRole.WORKER, memory_gb=1.0)
+        with pytest.raises(RuntimeError):
+            n.allocate(1, 2.0)
+
+    def test_release_more_than_allocated_raises(self):
+        n = Node(2, I5_9400, role=NodeRole.WORKER)
+        n.allocate(1, 1.0)
+        with pytest.raises(RuntimeError):
+            n.release(2, 1.0)
+
+    def test_can_host_respects_partial_allocation(self):
+        n = Node(2, I5_9400, role=NodeRole.WORKER, memory_gb=6.0)
+        for _ in range(I5_9400.cores):
+            assert n.can_host(1, 1.0)
+            n.allocate(1, 1.0)
+        assert not n.can_host(1, 1.0)
+
+    def test_invalid_memory_rejected(self):
+        with pytest.raises(ValueError):
+            Node(1, I5_9400, memory_gb=0.0)
+
+
+class TestNodePerformance:
+    def test_speed_factor_delegates_to_cpu(self):
+        n = Node(3, XEON_BRONZE_3204, DiskType.HDD, NodeRole.WORKER)
+        assert n.speed_factor == XEON_BRONZE_3204.speed_factor
+
+    def test_io_penalty_delegates_to_disk(self):
+        n = Node(3, XEON_BRONZE_3204, DiskType.HDD, NodeRole.WORKER)
+        assert n.io_penalty == DiskType.HDD.io_penalty

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import homogeneous_cluster, paper_cluster
+from repro.cluster.resource_manager import ResourceManager
+from repro.datagen.generator import DataGenerator
+from repro.datagen.rates import ConstantRate
+from repro.kafka.cluster import paper_kafka_cluster
+from repro.streaming.context import StreamingConfig, StreamingContext
+from repro.workloads.wordcount import WordCount
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cluster():
+    return paper_cluster()
+
+
+@pytest.fixture
+def homo_cluster():
+    return homogeneous_cluster(workers=4, cores_per_node=8)
+
+
+@pytest.fixture
+def resource_manager(cluster):
+    return ResourceManager(cluster)
+
+
+def make_context(
+    rate: float = 50_000.0,
+    interval: float = 5.0,
+    executors: int = 10,
+    seed: int = 0,
+    workload=None,
+    queue_max_length=None,
+    **context_kwargs,
+) -> StreamingContext:
+    """Build a small WordCount deployment at a constant rate."""
+    cl = paper_cluster()
+    kafka = paper_kafka_cluster(cl.total_cores)
+    wl = workload or WordCount()
+    gen = DataGenerator(
+        kafka.topic("events"),
+        ConstantRate(rate),
+        payload_kind=wl.payload_kind,
+        seed=seed,
+    )
+    return StreamingContext(
+        cl,
+        wl,
+        gen,
+        StreamingConfig(interval, executors),
+        seed=seed,
+        queue_max_length=queue_max_length,
+        **context_kwargs,
+    )
+
+
+@pytest.fixture
+def context():
+    return make_context()

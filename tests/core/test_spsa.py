@@ -1,0 +1,134 @@
+"""Unit tests for the generic SPSA optimizer on synthetic objectives."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import Box
+from repro.core.gains import GainSchedule
+from repro.core.spsa import SPSAOptimizer
+
+
+def make_optimizer(theta0=(8.0, 8.0), a=2.0, c=0.5, seed=0, lo=0.0, hi=10.0):
+    return SPSAOptimizer(
+        gains=GainSchedule(a=a, c=c, A=1.0),
+        box=Box([lo, lo], [hi, hi]),
+        theta_initial=theta0,
+        seed=seed,
+    )
+
+
+class TestMechanics:
+    def test_each_iteration_uses_two_measurements(self):
+        opt = make_optimizer()
+        calls = []
+        opt.step(lambda t: calls.append(t.copy()) or 0.0)
+        assert len(calls) == 2
+        assert opt.total_measurements == 2
+
+    def test_probes_are_symmetric_around_theta(self):
+        opt = make_optimizer()
+        theta_plus, theta_minus, delta, c_k = opt.propose()
+        mid = (theta_plus + theta_minus) / 2
+        assert np.allclose(mid, opt.theta)
+        assert np.allclose(theta_plus - opt.theta, c_k * delta)
+
+    def test_probes_projected_into_box(self):
+        opt = make_optimizer(theta0=(0.0, 10.0), c=3.0)
+        theta_plus, theta_minus, _, _ = opt.propose()
+        for probe in (theta_plus, theta_minus):
+            assert opt.box.contains(probe)
+
+    def test_update_moves_against_gradient_sign(self):
+        opt = make_optimizer(theta0=(5.0, 5.0))
+        # Objective increasing in both coordinates: theta must decrease.
+        opt.step(lambda t: float(t.sum()))
+        assert np.all(opt.theta <= 5.0)
+        assert opt.k == 1
+
+    def test_history_records_iterations(self):
+        opt = make_optimizer()
+        opt.minimize(lambda t: float(t @ t), iterations=5)
+        assert len(opt.history) == 5
+        assert [h.k for h in opt.history] == [1, 2, 3, 4, 5]
+
+    def test_reset_restores_initial_state(self):
+        opt = make_optimizer(theta0=(7.0, 3.0))
+        opt.minimize(lambda t: float(t @ t), iterations=3)
+        opt.reset()
+        assert opt.k == 0
+        assert np.allclose(opt.theta, [7.0, 3.0])
+        assert not opt.history
+
+    def test_reset_with_new_start(self):
+        opt = make_optimizer()
+        opt.reset(theta_initial=[1.0, 2.0])
+        assert np.allclose(opt.theta, [1.0, 2.0])
+
+    def test_nonfinite_measurement_rejected(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            opt.step(lambda t: float("nan"))
+
+    def test_invalid_gains_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            SPSAOptimizer(
+                gains=GainSchedule(a=1.0, c=1.0, alpha=0.6, gamma=0.4),
+                box=Box([0.0], [1.0]),
+                theta_initial=[0.5],
+            )
+
+    def test_callback_invoked(self):
+        opt = make_optimizer()
+        seen = []
+        opt.minimize(lambda t: 0.0, iterations=3, callback=seen.append)
+        assert len(seen) == 3
+
+
+class TestConvergence:
+    def test_converges_on_noiseless_quadratic(self):
+        target = np.array([3.0, 7.0])
+        opt = make_optimizer(theta0=(8.0, 2.0), a=2.0, c=0.3, seed=1)
+        theta = opt.minimize(
+            lambda t: float(np.sum((t - target) ** 2)), iterations=300
+        )
+        assert np.allclose(theta, target, atol=0.5)
+
+    def test_converges_under_noise(self):
+        # The defining property of SPSA (§4.2.1): optimization from
+        # noise-corrupted measurements only.
+        rng = np.random.default_rng(5)
+        target = np.array([4.0, 6.0])
+        opt = make_optimizer(theta0=(9.0, 1.0), a=2.0, c=0.8, seed=2)
+        theta = opt.minimize(
+            lambda t: float(np.sum((t - target) ** 2) + rng.normal(0, 1.0)),
+            iterations=400,
+        )
+        assert np.allclose(theta, target, atol=1.2)
+
+    def test_respects_box_constrained_minimum(self):
+        # Unconstrained minimum at (-5, -5); the box floor is 0.
+        opt = make_optimizer(theta0=(5.0, 5.0), seed=3)
+        theta = opt.minimize(
+            lambda t: float(np.sum((t + 5.0) ** 2)), iterations=200
+        )
+        assert np.allclose(theta, [0.0, 0.0], atol=0.3)
+
+    def test_deterministic_given_seed(self):
+        f = lambda t: float(t @ t)
+        a = make_optimizer(seed=9)
+        b = make_optimizer(seed=9)
+        a.minimize(f, 20)
+        b.minimize(f, 20)
+        assert np.allclose(a.theta, b.theta)
+
+    def test_high_dimension_still_two_measurements(self):
+        # SPSA's economy is dimension-independent (§4.2.1).
+        dim = 8
+        opt = SPSAOptimizer(
+            gains=GainSchedule(a=1.0, c=0.3),
+            box=Box([0.0] * dim, [10.0] * dim),
+            theta_initial=[5.0] * dim,
+            seed=4,
+        )
+        opt.minimize(lambda t: float(t @ t), iterations=50)
+        assert opt.total_measurements == 100

@@ -1,0 +1,132 @@
+"""Unit tests for rate traces."""
+
+import pytest
+
+from repro.datagen.rates import (
+    PAPER_RATE_BANDS,
+    ConstantRate,
+    SineRate,
+    SpikeRate,
+    StepRate,
+    TraceRate,
+    UniformRandomRate,
+    paper_rate_trace,
+)
+
+
+class TestConstantRate:
+    def test_rate_and_integral(self):
+        r = ConstantRate(500.0)
+        assert r.rate(3.0) == 500.0
+        assert r.records_between(0.0, 4.0) == 2000
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantRate(-1.0)
+
+
+class TestUniformRandomRate:
+    def test_stays_in_band(self):
+        r = UniformRandomRate(100.0, 200.0, hold=10.0, seed=5)
+        for t in range(0, 500, 7):
+            assert 100.0 <= r.rate(float(t)) <= 200.0
+
+    def test_deterministic_given_seed(self):
+        a = UniformRandomRate(10, 20, seed=3)
+        b = UniformRandomRate(10, 20, seed=3)
+        assert [a.rate(t) for t in (0.0, 15.0, 99.0)] == [
+            b.rate(t) for t in (0.0, 15.0, 99.0)
+        ]
+
+    def test_rate_changes_across_segments(self):
+        r = UniformRandomRate(0.0, 1e6, hold=10.0, seed=1)
+        rates = {r.rate(t) for t in (0.0, 10.0, 20.0, 30.0, 40.0)}
+        assert len(rates) > 1
+
+    def test_rate_constant_within_segment(self):
+        r = UniformRandomRate(10, 20, hold=10.0, seed=1)
+        assert r.rate(0.0) == r.rate(9.999)
+
+    def test_records_between_consistent_with_rate(self):
+        r = UniformRandomRate(100, 100, hold=10.0, seed=1)  # degenerate band
+        assert r.records_between(0.0, 25.0) == pytest.approx(2500, abs=1)
+
+    def test_records_between_partial_segments(self):
+        r = UniformRandomRate(50, 50, hold=10.0, seed=1)
+        assert r.records_between(5.0, 15.0) == pytest.approx(500, abs=1)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRandomRate(200.0, 100.0)
+
+
+class TestStepRate:
+    def test_levels(self):
+        r = StepRate.of((0.0, 10.0), (100.0, 50.0))
+        assert r.rate(50.0) == 10.0
+        assert r.rate(100.0) == 50.0
+        assert r.rate(500.0) == 50.0
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            StepRate.of((5.0, 10.0))
+
+    def test_levels_must_increase(self):
+        with pytest.raises(ValueError):
+            StepRate.of((0.0, 1.0), (0.0, 2.0))
+
+
+class TestSineRate:
+    def test_oscillates_around_base(self):
+        r = SineRate(base=100.0, amplitude=50.0, period=60.0)
+        assert r.rate(15.0) == pytest.approx(150.0)
+        assert r.rate(45.0) == pytest.approx(50.0)
+
+    def test_never_negative(self):
+        with pytest.raises(ValueError):
+            SineRate(base=10.0, amplitude=20.0, period=60.0)
+
+
+class TestSpikeRate:
+    def test_multiplier_in_window(self):
+        r = SpikeRate(ConstantRate(100.0), spikes=((10.0, 20.0, 3.0),))
+        assert r.rate(5.0) == 100.0
+        assert r.rate(15.0) == 300.0
+        assert r.rate(20.0) == 100.0  # window is half-open
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            SpikeRate(ConstantRate(1.0), spikes=((5.0, 5.0, 2.0),))
+
+
+class TestTraceRate:
+    def test_replays_samples(self):
+        r = TraceRate([10.0, 20.0, 30.0], dt=2.0)
+        assert r.rate(0.0) == 10.0
+        assert r.rate(3.0) == 20.0
+        assert r.rate(100.0) == 30.0  # clamps to last
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRate([])
+
+
+class TestPaperBands:
+    def test_all_four_workloads_present(self):
+        assert set(PAPER_RATE_BANDS) == {
+            "logistic_regression",
+            "linear_regression",
+            "wordcount",
+            "page_analyze",
+        }
+
+    @pytest.mark.parametrize("workload,band", list(PAPER_RATE_BANDS.items()))
+    def test_paper_trace_in_band(self, workload, band):
+        trace = paper_rate_trace(workload, seed=2)
+        lo, hi = band
+        for t in (0.0, 33.0, 500.0):
+            assert lo <= trace.rate(t) <= hi
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            paper_rate_trace("nope")

@@ -1,0 +1,36 @@
+"""Unit tests for the overhead models."""
+
+import pytest
+
+from repro.engine.overhead import DEFAULT_OVERHEAD, ZERO_OVERHEAD, OverheadModel
+
+
+class TestOverheadModel:
+    def test_coordination_grows_with_executors(self):
+        m = DEFAULT_OVERHEAD
+        costs = [m.coordination_cost(n) for n in (1, 5, 10, 20)]
+        assert costs == sorted(costs)
+        assert costs[0] > 0
+
+    def test_coordination_is_sublinear(self):
+        # Logarithmic coordination: doubling executors must not double cost.
+        m = DEFAULT_OVERHEAD
+        assert m.coordination_cost(20) < 2 * m.coordination_cost(10)
+
+    def test_zero_executors_costs_nothing(self):
+        assert DEFAULT_OVERHEAD.coordination_cost(0) == 0.0
+
+    def test_negative_executors_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_OVERHEAD.coordination_cost(-1)
+
+    def test_zero_overhead_is_all_zero(self):
+        assert ZERO_OVERHEAD.batch_setup == 0.0
+        assert ZERO_OVERHEAD.coordination_cost(16) == 0.0
+        assert ZERO_OVERHEAD.executor_startup == 0.0
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            OverheadModel(batch_setup=-0.1)
+        with pytest.raises(ValueError):
+            OverheadModel(executor_startup=-1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for stage and job models."""
+
+import pytest
+
+from repro.engine.job import BatchJob
+from repro.engine.stage import Stage
+from repro.engine.task import TaskSpec
+
+
+def make_stage(stage_id=0, name="map", tasks=4, cost=1.0, iterations=1):
+    return Stage(
+        stage_id=stage_id,
+        name=name,
+        tasks=[
+            TaskSpec(task_id=i, records=100, compute_cost=cost)
+            for i in range(tasks)
+        ],
+        iterations=iterations,
+    )
+
+
+class TestStage:
+    def test_totals(self):
+        s = make_stage(tasks=4, cost=2.0, iterations=3)
+        assert s.num_tasks == 4
+        assert s.total_records == 400
+        assert s.total_compute_cost == pytest.approx(3 * 4 * 2.0)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            make_stage(iterations=0)
+
+
+class TestBatchJob:
+    def test_aggregates_over_stages(self):
+        job = BatchJob(
+            job_id=1,
+            batch_time=10.0,
+            records=800,
+            stages=[
+                make_stage(0, "map", tasks=4, cost=1.0),
+                make_stage(1, "reduce", tasks=2, cost=0.5, iterations=2),
+            ],
+        )
+        assert job.num_stages == 2
+        assert job.num_tasks == 4 + 2 * 2
+        assert job.total_compute_cost == pytest.approx(4 * 1.0 + 2 * 2 * 0.5)
+
+    def test_duplicate_stage_ids_rejected(self):
+        with pytest.raises(ValueError):
+            BatchJob(
+                job_id=1,
+                batch_time=0.0,
+                records=0,
+                stages=[make_stage(0), make_stage(0, name="other")],
+            )
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            BatchJob(job_id=1, batch_time=0.0, records=-5)
+
+    def test_critical_path_bound_monotone_in_cores(self):
+        job = BatchJob(
+            job_id=1,
+            batch_time=0.0,
+            records=400,
+            stages=[make_stage(0, tasks=8, cost=1.0)],
+        )
+        b2 = job.critical_path_lower_bound(2)
+        b8 = job.critical_path_lower_bound(8)
+        assert b2 >= b8
+        # With 8 cores for 8 unit tasks the bound is one task's duration.
+        assert b8 == pytest.approx(1.0)
+
+    def test_critical_path_respects_longest_task(self):
+        stage = Stage(
+            stage_id=0,
+            name="skewed",
+            tasks=[
+                TaskSpec(task_id=0, records=1, compute_cost=10.0),
+                TaskSpec(task_id=1, records=1, compute_cost=0.1),
+            ],
+        )
+        job = BatchJob(job_id=1, batch_time=0.0, records=2, stages=[stage])
+        # Even infinite cores cannot beat the longest task.
+        assert job.critical_path_lower_bound(100) >= 10.0
+
+    def test_critical_path_requires_cores(self):
+        job = BatchJob(job_id=1, batch_time=0.0, records=0)
+        with pytest.raises(ValueError):
+            job.critical_path_lower_bound(0)

@@ -1,0 +1,65 @@
+"""Unit tests for the task model."""
+
+import pytest
+
+from repro.cluster.executor import Executor
+from repro.cluster.node import I5_9400, XEON_BRONZE_3204, DiskType, Node, NodeRole
+from repro.engine.task import TaskRun, TaskSpec
+
+
+@pytest.fixture
+def fast_executor():
+    node = Node(2, I5_9400, DiskType.SSD, NodeRole.WORKER)
+    return Executor(1, node)
+
+
+@pytest.fixture
+def slow_hdd_executor():
+    node = Node(3, XEON_BRONZE_3204, DiskType.HDD, NodeRole.WORKER)
+    return Executor(2, node)
+
+
+class TestTaskSpec:
+    def test_duration_scales_with_node_speed(self, fast_executor, slow_hdd_executor):
+        spec = TaskSpec(task_id=0, records=1000, compute_cost=1.0)
+        fast = spec.duration_on(fast_executor)
+        slow = spec.duration_on(slow_hdd_executor)
+        assert slow == pytest.approx(fast / XEON_BRONZE_3204.speed_factor)
+
+    def test_io_pays_disk_penalty(self, fast_executor, slow_hdd_executor):
+        spec = TaskSpec(task_id=0, records=1000, compute_cost=0.0, io_cost=1.0)
+        assert spec.duration_on(fast_executor) == pytest.approx(1.0)
+        assert spec.duration_on(slow_hdd_executor) == pytest.approx(
+            DiskType.HDD.io_penalty
+        )
+
+    def test_noise_multiplies_work_not_startup(self, fast_executor):
+        spec = TaskSpec(task_id=0, records=10, compute_cost=2.0)
+        d = spec.duration_on(fast_executor, noise_factor=1.5, startup_cost=1.0)
+        assert d == pytest.approx(2.0 * 1.5 + 1.0)
+
+    def test_zero_noise_rejected(self, fast_executor):
+        spec = TaskSpec(task_id=0, records=10, compute_cost=1.0)
+        with pytest.raises(ValueError):
+            spec.duration_on(fast_executor, noise_factor=0.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"records": -1, "compute_cost": 1.0},
+        {"records": 1, "compute_cost": -1.0},
+        {"records": 1, "compute_cost": 1.0, "io_cost": -0.1},
+    ])
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TaskSpec(task_id=0, **kwargs)
+
+
+class TestTaskRun:
+    def test_duration(self):
+        spec = TaskSpec(task_id=0, records=1, compute_cost=1.0)
+        run = TaskRun(spec=spec, executor_id=1, start=10.0, finish=12.5)
+        assert run.duration == pytest.approx(2.5)
+
+    def test_finish_before_start_rejected(self):
+        spec = TaskSpec(task_id=0, records=1, compute_cost=1.0)
+        with pytest.raises(ValueError):
+            TaskRun(spec=spec, executor_id=1, start=10.0, finish=9.0)

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "wordcount"
+        assert args.rounds == 30
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "nope"])
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wordcount", "logistic_regression", "page_analyze"):
+            assert name in out
+
+    def test_run_prints_final_config(self, capsys):
+        assert main(["run", "--workload", "wordcount", "--rounds", "6",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "final: interval=" in out
+        assert "configuration changes:" in out
+
+    def test_run_writes_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["run", "--workload", "wordcount", "--rounds", "4",
+                     "--seed", "3", "--trace-out", str(trace_path)]) == 0
+        payload = json.loads(trace_path.read_text())
+        assert payload["experiment"] == "nostop-wordcount"
+        assert len(payload["series"]["interval"]) == 4
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Xeon Bronze 3204" in out
+
+    def test_figure_fig5(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "input data rates" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

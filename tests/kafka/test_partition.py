@@ -1,0 +1,101 @@
+"""Unit tests for the segment-based partition log."""
+
+import pytest
+
+from repro.kafka.partition import Partition, Segment
+
+
+class TestSegment:
+    def test_timestamp_interpolation(self):
+        seg = Segment(t0=10.0, t1=20.0, count=10, base_offset=100)
+        assert seg.timestamp_of(100) == pytest.approx(10.0)
+        assert seg.timestamp_of(105) == pytest.approx(15.0)
+
+    def test_out_of_segment_offset_raises(self):
+        seg = Segment(t0=0.0, t1=1.0, count=5, base_offset=0)
+        with pytest.raises(IndexError):
+            seg.timestamp_of(5)
+
+    def test_invalid_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(t0=1.0, t1=0.5, count=1, base_offset=0)
+        with pytest.raises(ValueError):
+            Segment(t0=0.0, t1=1.0, count=-1, base_offset=0)
+
+
+class TestPartitionAppend:
+    def test_appends_accumulate_offsets(self):
+        p = Partition(0)
+        p.append(0.0, 1.0, 100)
+        p.append(1.0, 2.0, 50)
+        assert p.end_offset == 150
+        assert p.segment_count == 2
+
+    def test_zero_count_append_is_noop(self):
+        p = Partition(0)
+        p.append(0.0, 1.0, 0)
+        assert p.end_offset == 0
+        assert p.segment_count == 0
+
+    def test_overlapping_append_rejected(self):
+        p = Partition(0)
+        p.append(0.0, 2.0, 10)
+        with pytest.raises(ValueError):
+            p.append(1.0, 3.0, 10)
+
+    def test_gap_after_empty_segment_allowed(self):
+        p = Partition(0)
+        p.append(0.0, 1.0, 0)
+        p.append(1.0, 2.0, 10)  # must not conflict with the empty span
+        assert p.end_offset == 10
+
+
+class TestPartitionQueries:
+    @pytest.fixture
+    def log(self):
+        p = Partition(0)
+        p.append(0.0, 10.0, 100)   # 10 rec/s
+        p.append(10.0, 20.0, 200)  # 20 rec/s
+        return p
+
+    def test_offset_at_boundaries(self, log):
+        assert log.offset_at(0.0) == 0
+        assert log.offset_at(10.0) == 100
+        assert log.offset_at(20.0) == 300
+        assert log.offset_at(100.0) == 300
+
+    def test_offset_at_interpolates(self, log):
+        assert log.offset_at(5.0) == 50
+        assert log.offset_at(15.0) == 200
+
+    def test_offset_at_is_monotone(self, log):
+        offsets = [log.offset_at(t) for t in [0, 1, 5, 9.9, 10, 12, 19.9, 25]]
+        assert offsets == sorted(offsets)
+
+    def test_timestamp_of_roundtrips_offset(self, log):
+        for off in (0, 50, 99, 100, 250, 299):
+            t = log.timestamp_of(off)
+            assert log.offset_at(t) <= off < log.offset_at(t + 0.2)
+
+    def test_timestamp_out_of_range_raises(self, log):
+        with pytest.raises(IndexError):
+            log.timestamp_of(300)
+        with pytest.raises(IndexError):
+            log.timestamp_of(-1)
+
+    def test_mean_arrival_time_of_uniform_segment(self, log):
+        # Offsets [0, 100) arrive uniformly over [0, 10): mean 5.0.
+        assert log.mean_arrival_time(0, 100) == pytest.approx(5.0)
+
+    def test_mean_arrival_time_spanning_segments(self, log):
+        # [0,100) mean 5.0 (weight 100); [100,300) mean 15.0 (weight 200).
+        expected = (5.0 * 100 + 15.0 * 200) / 300
+        assert log.mean_arrival_time(0, 300) == pytest.approx(expected)
+
+    def test_mean_arrival_time_empty_range_rejected(self, log):
+        with pytest.raises(ValueError):
+            log.mean_arrival_time(10, 10)
+
+    def test_mean_arrival_beyond_log_rejected(self, log):
+        with pytest.raises(IndexError):
+            log.mean_arrival_time(0, 301)

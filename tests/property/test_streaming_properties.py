@@ -1,0 +1,55 @@
+"""Property-based tests for the streaming pipeline invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from ..conftest import make_context
+
+
+class TestPipelineInvariants:
+    @given(
+        rate=st.floats(1_000, 300_000),
+        interval=st.floats(1.0, 20.0),
+        executors=st.integers(2, 20),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batch_metrics_are_physical(self, rate, interval, executors, seed):
+        ctx = make_context(
+            rate=rate, interval=interval, executors=executors, seed=seed,
+            queue_max_length=25,
+        )
+        infos = ctx.advance_batches(8)
+        for b in infos:
+            assert b.processing_time > 0
+            assert b.scheduling_delay >= 0
+            assert b.end_to_end_delay > 0
+            assert b.records >= 0
+            assert b.processing_start >= b.batch_time
+            # Output cannot precede the mean arrival of its inputs.
+            assert b.processing_end > b.mean_arrival_time
+
+    @given(
+        rate=st.floats(1_000, 200_000),
+        interval=st.floats(1.0, 10.0),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_records_conserved_from_producer_to_batches(
+        self, rate, interval, seed
+    ):
+        ctx = make_context(rate=rate, interval=interval, executors=20, seed=seed)
+        ctx.advance_batches(6)
+        produced = ctx.generator.producer.total_produced
+        consumed = ctx.receiver.consumer.total_consumed
+        assert consumed == produced  # polled exactly at boundaries
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_engine_timeline_never_overlaps(self, seed):
+        ctx = make_context(rate=100_000, interval=2.0, executors=6, seed=seed,
+                           queue_max_length=10)
+        infos = ctx.advance_batches(12)
+        # Serialized engine: job n+1 starts at or after job n finishes.
+        for prev, cur in zip(infos, infos[1:]):
+            assert cur.processing_start >= prev.processing_end - 1e-9

@@ -1,0 +1,89 @@
+"""Unit tests for the PID rate estimator and back-pressure controller."""
+
+import pytest
+
+from repro.streaming.backpressure import BackPressureController, PIDRateEstimator
+from repro.streaming.listener import StreamingListener
+from repro.streaming.metrics import BatchInfo
+
+from ..conftest import make_context
+
+
+def binfo(idx, bt, records=1000, proc=2.0, sched=0.0, interval=2.0):
+    return BatchInfo(
+        batch_index=idx,
+        batch_time=bt,
+        interval=interval,
+        records=records,
+        num_executors=4,
+        mean_arrival_time=bt - interval / 2,
+        processing_start=bt + sched,
+        processing_end=bt + sched + proc,
+    )
+
+
+class TestPIDRateEstimator:
+    def test_first_update_adopts_processing_rate(self):
+        est = PIDRateEstimator()
+        rate = est.compute(
+            time=10.0, num_elements=1000, processing_delay=2.0,
+            scheduling_delay=0.0, batch_interval=2.0,
+        )
+        assert rate == pytest.approx(500.0)
+
+    def test_invalid_updates_return_none(self):
+        est = PIDRateEstimator()
+        assert est.compute(10.0, 0, 2.0, 0.0, 2.0) is None
+        assert est.compute(10.0, 100, 0.0, 0.0, 2.0) is None
+        est.compute(10.0, 100, 1.0, 0.0, 2.0)
+        # time must strictly advance
+        assert est.compute(10.0, 100, 1.0, 0.0, 2.0) is None
+
+    def test_backlog_pushes_rate_down(self):
+        est = PIDRateEstimator()
+        r1 = est.compute(10.0, 1000, 2.0, 0.0, 2.0)
+        # Same processing rate but now with scheduling delay: the
+        # integral (backlog) term must reduce the bound.
+        r2 = est.compute(12.0, 1000, 2.0, 5.0, 2.0)
+        assert r2 < r1
+
+    def test_rate_never_below_min(self):
+        est = PIDRateEstimator(min_rate=100.0)
+        est.compute(10.0, 1000, 2.0, 0.0, 2.0)
+        rate = est.compute(12.0, 10, 10.0, 100.0, 2.0)
+        assert rate >= 100.0
+
+    def test_negative_gains_rejected(self):
+        with pytest.raises(ValueError):
+            PIDRateEstimator(proportional=-1.0)
+        with pytest.raises(ValueError):
+            PIDRateEstimator(min_rate=0.0)
+
+
+class TestBackPressureController:
+    def test_controller_sets_cap_from_listener(self):
+        listener = StreamingListener()
+        caps = []
+        BackPressureController(listener, caps.append)
+        listener.on_batch_completed(binfo(0, 10.0))
+        listener.on_batch_completed(binfo(1, 12.0, sched=1.0))
+        assert len(caps) == 2
+        assert caps[1] < caps[0]
+
+    def test_max_rate_clamps(self):
+        listener = StreamingListener()
+        caps = []
+        BackPressureController(listener, caps.append, max_rate=100.0)
+        listener.on_batch_completed(binfo(0, 10.0, records=10_000, proc=1.0))
+        assert caps[0] == 100.0
+
+    def test_end_to_end_backpressure_stabilizes_overloaded_system(self):
+        # Offered load far above capacity; PID must throttle ingestion so
+        # per-batch processing fits the interval.
+        ctx = make_context(rate=400_000, interval=2.0, executors=6)
+        BackPressureController(ctx.listener, ctx.generator.set_rate_cap)
+        ctx.advance_batches(40)
+        recent = ctx.listener.metrics.recent(8)
+        stable = sum(1 for b in recent if b.processing_time <= b.interval * 1.2)
+        assert stable >= len(recent) // 2
+        assert ctx.generator.producer.total_throttled > 0

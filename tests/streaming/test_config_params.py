@@ -1,0 +1,161 @@
+"""Tests for the Spark Streaming configuration-parameter catalog."""
+
+import pytest
+
+from repro.streaming.config_params import (
+    SPARK_STREAMING_PARAMS,
+    ParamSpec,
+    SparkStreamingConf,
+)
+
+
+class TestCatalog:
+    def test_nostop_tunables_are_runtime_tunable(self):
+        # The paper's two control parameters.
+        assert SPARK_STREAMING_PARAMS["spark.streaming.batchInterval"].runtime_tunable
+        assert SPARK_STREAMING_PARAMS["spark.executor.instances"].runtime_tunable
+
+    def test_section_3_2_examples_are_launch_only(self):
+        # "the specification of executors, memory size, and number of CPU
+        # cores cannot be adjusted dynamically" (§3.2).
+        for key in ("spark.executor.memory", "spark.executor.cores"):
+            assert not SPARK_STREAMING_PARAMS[key].runtime_tunable
+
+    def test_batch_interval_tunability_is_patched(self):
+        # "the latter of which is made tunable at runtime through system
+        # modification" (§3.2).
+        assert SPARK_STREAMING_PARAMS["spark.streaming.batchInterval"].nostop_patched
+        assert "spark.streaming.batchInterval" in SparkStreamingConf.nostop_patched_keys()
+
+    def test_catalog_is_mostly_launch_only(self):
+        # The paper's premise: most parameters cannot be tuned online.
+        assert len(SparkStreamingConf.launch_only_keys()) > len(
+            SparkStreamingConf.runtime_tunable_keys()
+        )
+
+
+class TestParamSpecValidation:
+    def test_range_enforced(self):
+        spec = SPARK_STREAMING_PARAMS["spark.streaming.concurrentJobs"]
+        assert spec.validate(2) == 2
+        with pytest.raises(ValueError):
+            spec.validate(0)
+        with pytest.raises(ValueError):
+            spec.validate(100)
+
+    def test_type_coercion(self):
+        spec = SPARK_STREAMING_PARAMS["spark.streaming.batchInterval"]
+        assert spec.validate("2.5") == 2.5
+        with pytest.raises(ValueError):
+            spec.validate("not-a-number")
+
+    def test_bool_from_string(self):
+        spec = SPARK_STREAMING_PARAMS["spark.streaming.backpressure.enabled"]
+        assert spec.validate("true") is True
+        assert spec.validate("false") is False
+        with pytest.raises(ValueError):
+            spec.validate("maybe")
+
+    def test_choices_enforced(self):
+        spec = SPARK_STREAMING_PARAMS["spark.serializer"]
+        with pytest.raises(ValueError):
+            spec.validate("com.example.BogusSerializer")
+
+
+class TestSparkStreamingConf:
+    def test_defaults_loaded(self):
+        conf = SparkStreamingConf()
+        assert conf.get("spark.streaming.concurrentJobs") == 1
+        assert conf.get("spark.task.maxFailures") == 4
+
+    def test_overrides_at_construction(self):
+        conf = SparkStreamingConf({"spark.executor.instances": 8})
+        assert conf.get("spark.executor.instances") == 8
+
+    def test_unknown_key_rejected(self):
+        conf = SparkStreamingConf()
+        with pytest.raises(KeyError):
+            conf.get("spark.bogus.key")
+        with pytest.raises(KeyError):
+            conf.set("spark.bogus.key", 1)
+
+    def test_launch_only_frozen_after_launch(self):
+        conf = SparkStreamingConf()
+        conf.set("spark.executor.cores", 2)  # fine before launch
+        conf.mark_launched()
+        with pytest.raises(RuntimeError):
+            conf.set("spark.executor.cores", 4)
+
+    def test_runtime_tunables_stay_settable_after_launch(self):
+        conf = SparkStreamingConf()
+        conf.mark_launched()
+        conf.set("spark.streaming.batchInterval", 5.0)
+        conf.set("spark.executor.instances", 12)
+        assert conf.get("spark.streaming.batchInterval") == 5.0
+
+    def test_as_dict_snapshot(self):
+        conf = SparkStreamingConf()
+        snap = conf.as_dict()
+        snap["spark.task.maxFailures"] = 99
+        assert conf.get("spark.task.maxFailures") == 4  # copy, not view
+
+    def test_set_returns_self_for_chaining(self):
+        conf = SparkStreamingConf()
+        assert conf.set("spark.executor.instances", 3) is conf
+
+
+class TestDeployFromConf:
+    def _deploy(self, overrides):
+        from repro.cluster.cluster import paper_cluster
+        from repro.datagen.generator import DataGenerator
+        from repro.datagen.rates import ConstantRate
+        from repro.kafka.cluster import paper_kafka_cluster
+        from repro.streaming.config_params import deploy_from_conf
+        from repro.workloads.wordcount import WordCount
+
+        cluster = paper_cluster()
+        kafka = paper_kafka_cluster(cluster.total_cores)
+        generator = DataGenerator(
+            kafka.topic("events"), ConstantRate(50_000.0), payload_kind="text"
+        )
+        conf = SparkStreamingConf(overrides)
+        ctx = deploy_from_conf(conf, cluster, WordCount(), generator, seed=1)
+        return conf, ctx, generator
+
+    def test_interval_and_executors_applied(self):
+        conf, ctx, _ = self._deploy({
+            "spark.streaming.batchInterval": 4.0,
+            "spark.executor.instances": 12,
+        })
+        assert ctx.batch_interval == 4.0
+        assert ctx.num_executors == 12
+
+    def test_queue_bound_applied(self):
+        _, ctx, _ = self._deploy({"spark.streaming.queue.maxBatches": 7})
+        assert ctx.queue.max_length == 7
+
+    def test_zero_queue_bound_means_unbounded(self):
+        _, ctx, _ = self._deploy({})
+        assert ctx.queue.max_length is None
+
+    def test_max_rate_per_partition_caps_producer(self):
+        _, ctx, gen = self._deploy({
+            "spark.streaming.kafka.maxRatePerPartition": 100.0,
+        })
+        partitions = gen.producer.topic.num_partitions
+        assert gen.producer.rate_cap == pytest.approx(100.0 * partitions)
+
+    def test_backpressure_controller_attached(self):
+        _, ctx, gen = self._deploy({
+            "spark.streaming.batchInterval": 1.0,
+            "spark.executor.instances": 4,
+            "spark.streaming.backpressure.enabled": True,
+        })
+        ctx.advance_batches(10)
+        # The PID controller throttled the overloaded producer.
+        assert gen.producer.rate_cap is not None
+
+    def test_launch_freezes_static_params(self):
+        conf, _, _ = self._deploy({})
+        with pytest.raises(RuntimeError):
+            conf.set("spark.executor.cores", 2)

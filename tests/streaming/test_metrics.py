@@ -1,0 +1,83 @@
+"""Unit tests for streaming batch metrics."""
+
+import pytest
+
+from repro.streaming.metrics import BatchInfo, StreamingMetrics
+
+
+def info(idx=0, bt=10.0, interval=5.0, start=None, end=None, records=100,
+         arrival=None, first=False, executors=4):
+    start = bt if start is None else start
+    end = start + 3.0 if end is None else end
+    arrival = bt - interval / 2 if arrival is None else arrival
+    return BatchInfo(
+        batch_index=idx,
+        batch_time=bt,
+        interval=interval,
+        records=records,
+        num_executors=executors,
+        mean_arrival_time=arrival,
+        processing_start=start,
+        processing_end=end,
+        first_after_reconfig=first,
+    )
+
+
+class TestBatchInfo:
+    def test_derived_metrics(self):
+        b = info(bt=10.0, interval=5.0, start=12.0, end=16.0, arrival=7.5)
+        assert b.processing_time == pytest.approx(4.0)
+        assert b.scheduling_delay == pytest.approx(2.0)
+        assert b.end_to_end_delay == pytest.approx(8.5)
+
+    def test_stability_definition(self):
+        assert info(interval=5.0, start=10.0, end=14.0).stable
+        assert not info(interval=3.0, start=10.0, end=14.0).stable
+
+    def test_processing_before_batch_close_rejected(self):
+        with pytest.raises(ValueError):
+            info(bt=10.0, start=9.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            info(start=10.0, end=9.0)
+
+    def test_to_dict_round_trips_keys(self):
+        d = info().to_dict()
+        for key in ("batchInterval", "schedulingDelay", "processingTime",
+                    "endToEndDelay", "numRecords"):
+            assert key in d
+
+
+class TestStreamingMetrics:
+    def test_record_and_aggregate(self):
+        m = StreamingMetrics()
+        m.record(info(idx=0, end=13.0))
+        m.record(info(idx=1, bt=15.0, start=15.0, end=20.0))
+        assert len(m) == 2
+        assert m.mean_processing_time() == pytest.approx((3.0 + 5.0) / 2)
+        assert m.total_records() == 200
+
+    def test_indices_must_increase(self):
+        m = StreamingMetrics()
+        m.record(info(idx=5))
+        with pytest.raises(ValueError):
+            m.record(info(idx=5))
+
+    def test_recent_window(self):
+        m = StreamingMetrics()
+        for i in range(10):
+            m.record(info(idx=i, bt=float(10 + i * 5), start=float(10 + i * 5)))
+        assert len(m.recent(3)) == 3
+        assert m.recent(3)[-1].batch_index == 9
+        assert m.recent(0) == []
+
+    def test_unstable_fraction(self):
+        m = StreamingMetrics()
+        m.record(info(idx=0, interval=5.0, end=None))          # proc 3 stable
+        m.record(info(idx=1, bt=20.0, interval=2.0, start=20.0, end=25.0))
+        assert m.unstable_fraction() == pytest.approx(0.5)
+
+    def test_empty_aggregates_raise(self):
+        with pytest.raises(ValueError):
+            StreamingMetrics().mean_processing_time()
