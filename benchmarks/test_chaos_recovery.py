@@ -1,0 +1,99 @@
+"""Recovery under the standard fault schedule: NoStop vs baselines.
+
+Shape contract: under an executor crash (with a 60 s machine outage) and
+a 30 s broker stall, NoStop keeps optimizing — its hardened adjust loop
+rejects fault-corrupted windows, guards SPSA steps, and re-converges to
+a near-pre-fault objective with a *finite* time-to-recover for every
+event.  The fixed-configuration and back-pressure baselines ride out the
+same schedule at their static configuration; they may or may not reach
+sustained stability again (nothing retunes them), which is exactly the
+robustness gap the chaos engine exists to demonstrate.
+"""
+
+import math
+
+from repro.analysis.chaos import time_to_recover
+from repro.analysis.tables import format_table
+from repro.baselines.backpressure import run_backpressure
+from repro.baselines.fixed import DEFAULT_CONFIGURATION, run_fixed_configuration
+from repro.chaos import ChaosEngine, run_chaos_scenario, standard_chaos_schedule
+from repro.experiments.common import build_experiment
+
+from .conftest import emit, run_once
+
+WORKLOAD = "wordcount"
+SEED = 7
+
+
+def _baseline_under_chaos(runner, seed):
+    setup = build_experiment(
+        WORKLOAD, seed=seed,
+        batch_interval=DEFAULT_CONFIGURATION.batch_interval,
+        num_executors=DEFAULT_CONFIGURATION.num_executors,
+    )
+    engine = ChaosEngine(setup.context, standard_chaos_schedule(), seed=seed)
+    result = runner(setup.context, batches=60, warmup=4)
+    engine.finish()
+    batches = setup.context.listener.metrics.batches
+    mttrs = [
+        time_to_recover(batches, fault_start=rec.fired_at)
+        for rec in engine.records
+    ]
+    worst = max(mttrs) if mttrs else math.inf
+    return result, worst
+
+
+def compare(seed=SEED):
+    setup = build_experiment(WORKLOAD, seed=seed)
+    nostop = run_chaos_scenario(
+        setup, standard_chaos_schedule(), rounds=40, seed=seed,
+        harden=True, scenario="benchmark",
+    )
+    fixed, fixed_mttr = _baseline_under_chaos(run_fixed_configuration, seed)
+    bp, bp_mttr = _baseline_under_chaos(run_backpressure, seed)
+    return nostop, (fixed, fixed_mttr), (bp, bp_mttr)
+
+
+def _fmt_mttr(v):
+    return f"{v:.1f}" if math.isfinite(v) else "never"
+
+
+def test_chaos_recovery_comparison(benchmark):
+    nostop, (fixed, fixed_mttr), (bp, bp_mttr) = run_once(benchmark, compare)
+    report = nostop.report
+    nostop_delay = sum(
+        b.end_to_end_delay
+        for b in nostop.engine.context.listener.metrics.batches
+    ) / max(report.batches_processed, 1)
+    emit(
+        format_table(
+            ["approach", "worst MTTR (s)", "mean e2e delay (s)"],
+            [
+                ("NoStop (hardened)",
+                 _fmt_mttr(max(e.mttr for e in report.events)),
+                 nostop_delay),
+                ("Fixed (default cfg)", _fmt_mttr(fixed_mttr),
+                 fixed.mean_end_to_end_delay),
+                ("Back Pressure (default cfg)", _fmt_mttr(bp_mttr),
+                 bp.mean_end_to_end_delay),
+            ],
+            title=f"Recovery under standard fault schedule ({WORKLOAD})",
+        )
+    )
+    emit(
+        f"NoStop: pre-fault obj {report.pre_fault_objective:.2f}, "
+        f"post-fault obj {report.post_fault_objective:.2f}, "
+        f"reconverged={report.reconverged()}, "
+        f"outliers rejected={report.outlier_batches_rejected}, "
+        f"probe retries={report.corrupted_retries}"
+    )
+
+    # NoStop must recover from every injected fault (finite MTTR) and
+    # re-converge near its pre-fault objective; the baselines carry no
+    # such obligation — they are the untuned comparison points.
+    assert report.recovered
+    assert all(math.isfinite(e.mttr) for e in report.events)
+    assert report.reconverged()
+    # Both faults actually landed in every arm.
+    assert report.executor_failures >= 1
+    assert len(report.events) == 2

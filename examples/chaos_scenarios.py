@@ -1,0 +1,119 @@
+"""Scripted chaos scenarios: NoStop optimizing through injected faults.
+
+The headline scenario is the acceptance script: an executor crash at
+t=120 s whose machine stays down for 60 s (its capacity held hostage, so
+full-pool reconfigurations fail), then a broker outage at t=300 s that
+stalls ingestion for 30 s and bursts the backlog back on recovery.  The
+same (seed, schedule) pair is run twice:
+
+* **hardened** — MAD outlier rejection, corrupted-probe retry, guarded
+  SPSA steps, rate-monitor cooldown, degraded-mode windows;
+* **unhardened** — the plain paper controller, with detection-only
+  instrumentation so the poisoned SPSA steps it consumes are counted.
+
+A second scenario shows the schedule DSL's breadth: periodic straggler
+churn plus a data-skew burst that intentionally trips the §5.5 rate
+reset.
+
+Run:  PYTHONPATH=src python examples/chaos_scenarios.py
+"""
+
+from repro.chaos import (
+    AtTime,
+    DataSkewBurst,
+    FaultEvent,
+    FaultSchedule,
+    Periodic,
+    StragglerSlowdown,
+    run_chaos_scenario,
+    standard_chaos_schedule,
+)
+from repro.experiments.common import build_experiment
+
+SEED = 7
+WORKLOAD = "wordcount"
+ROUNDS = 40
+
+
+def run_standard() -> None:
+    print("=" * 72)
+    print("scenario 1: executor crash @120s (60s outage) + broker stall @300s")
+    print("=" * 72)
+    results = {}
+    for harden in (True, False):
+        setup = build_experiment(WORKLOAD, seed=SEED)
+        result = run_chaos_scenario(
+            setup,
+            standard_chaos_schedule(),
+            rounds=ROUNDS,
+            seed=SEED,
+            harden=harden,
+            scenario="standard",
+        )
+        results[harden] = result.report
+        arm = "hardened" if harden else "unhardened"
+        r = result.report
+        print(f"\n[{arm}]")
+        for e in r.events:
+            mttr = f"{e.mttr:.1f}s" if r.recovered else "never"
+            print(f"  {e.record.name:16s} fired t={e.record.fired_at:6.1f}  "
+                  f"mttr={mttr}")
+        print(f"  pre-fault objective : {r.pre_fault_objective:.3f}")
+        print(f"  post-fault objective: {r.post_fault_objective:.3f}  "
+              f"(reconverged within 10%: {r.reconverged()})")
+        print(f"  poisoned steps avoided={r.poisoned_steps_avoided} "
+              f"taken={r.poisoned_steps_taken} "
+              f"probe retries={r.corrupted_retries} "
+              f"outliers rejected={r.outlier_batches_rejected}")
+
+    hardened, plain = results[True], results[False]
+    print("\nverdict:")
+    print(f"  hardened arm recovered: {hardened.recovered}, "
+          f"reconverged: {hardened.reconverged()}")
+    print(f"  unhardened arm consumed {plain.poisoned_steps_taken} "
+          f"poisoned SPSA step(s); hardened consumed "
+          f"{hardened.poisoned_steps_taken}")
+    print("\nhardened ChaosReport (deterministic JSON):")
+    print(hardened.to_json())
+
+
+def run_churn() -> None:
+    print("\n" + "=" * 72)
+    print("scenario 2: periodic straggler churn + data-skew burst")
+    print("=" * 72)
+    schedule = FaultSchedule.of(
+        FaultEvent(
+            name="straggler-churn",
+            trigger=Periodic(period=240.0, start=120.0),
+            injector=StragglerSlowdown(factor=4.0, count=1),
+            duration=45.0,
+        ),
+        FaultEvent(
+            name="skew-burst",
+            trigger=AtTime(400.0),
+            injector=DataSkewBurst(multiplier=3.0),
+            duration=80.0,
+        ),
+    )
+    setup = build_experiment(WORKLOAD, seed=SEED + 1)
+    result = run_chaos_scenario(
+        setup, schedule, rounds=ROUNDS, seed=SEED + 1,
+        harden=True, scenario="churn",
+    )
+    r = result.report
+    print(f"  injections: {result.engine.injections}  "
+          f"batches: {r.batches_processed}  sim time: {r.sim_duration:.0f}s")
+    print(f"  outliers rejected: {r.outlier_batches_rejected}  "
+          f"rate resets: {r.rate_resets}  "
+          f"poisoned steps avoided: {r.poisoned_steps_avoided}")
+    print(f"  mean MTTR: "
+          f"{'%.1fs' % r.mean_mttr if r.recovered else 'never recovered'}")
+
+
+def main() -> None:
+    run_standard()
+    run_churn()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,12 @@
 """Measurement post-processing: repeat-set statistics, ASCII tables for
 the benchmark harness, and JSON experiment traces."""
 
+from .chaos import (
+    baseline_delay,
+    delay_overshoot,
+    poisoned_step_fraction,
+    time_to_recover,
+)
 from .convergence import (
     DecayFit,
     best_so_far,
@@ -17,6 +23,10 @@ from .traces import ExperimentTrace
 __all__ = [
     "DecayFit",
     "ExperimentTrace",
+    "baseline_delay",
+    "delay_overshoot",
+    "poisoned_step_fraction",
+    "time_to_recover",
     "best_so_far",
     "distance_to_final",
     "fit_decay_rate",

@@ -1,0 +1,93 @@
+"""Recovery observability: MTTR and overshoot from batch histories.
+
+The chaos engine logs *when* faults fired; these helpers read the
+streaming listener's batch history to quantify *how* the system coped:
+
+* **time-to-recover** — from fault injection until the pipeline is again
+  processing batches within their interval (``k`` consecutive stable
+  batches, so one lucky batch does not count as recovery);
+* **delay overshoot** — how far end-to-end delay rose above its
+  pre-fault baseline while the fault was being absorbed.
+
+Both are defined purely over :class:`~repro.streaming.metrics.BatchInfo`
+sequences, so they apply equally to NoStop runs and to the fixed /
+back-pressure baselines the recovery benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.streaming.metrics import BatchInfo
+
+
+def time_to_recover(
+    batches: Sequence[BatchInfo],
+    fault_start: float,
+    consecutive: int = 3,
+) -> float:
+    """Seconds from ``fault_start`` until sustained stability returns.
+
+    Recovery is declared at the completion time of the ``consecutive``-th
+    consecutive stable batch (``processing_time <= interval``) among
+    batches completing after the fault.  Returns ``math.inf`` when the
+    history never restabilizes — a baseline that stays drowned reports an
+    infinite MTTR rather than a misleading large number.
+    """
+    if consecutive < 1:
+        raise ValueError(f"consecutive must be >= 1, got {consecutive}")
+    run = 0
+    for b in batches:
+        if b.processing_end <= fault_start:
+            continue
+        if b.stable:
+            run += 1
+            if run >= consecutive:
+                return b.processing_end - fault_start
+        else:
+            run = 0
+    return math.inf
+
+
+def baseline_delay(
+    batches: Sequence[BatchInfo],
+    before: float,
+    window: int = 10,
+) -> Optional[float]:
+    """Mean end-to-end delay of the last ``window`` pre-fault batches."""
+    prior = [b for b in batches if b.processing_end <= before]
+    if not prior:
+        return None
+    used = prior[-window:]
+    return sum(b.end_to_end_delay for b in used) / len(used)
+
+
+def delay_overshoot(
+    batches: Sequence[BatchInfo],
+    fault_start: float,
+    recovered_by: Optional[float] = None,
+) -> Optional[float]:
+    """Peak delay above the pre-fault baseline during the fault window.
+
+    ``recovered_by`` bounds the window (None = rest of the history).
+    Returns None when there is no pre-fault baseline or no batch in the
+    window; 0.0 when the fault never pushed delay above baseline.
+    """
+    base = baseline_delay(batches, before=fault_start)
+    if base is None:
+        return None
+    end = math.inf if recovered_by is None else recovered_by
+    window = [
+        b for b in batches if fault_start < b.processing_end <= end
+    ]
+    if not window:
+        return None
+    peak = max(b.end_to_end_delay for b in window)
+    return max(0.0, peak - base)
+
+
+def poisoned_step_fraction(avoided: int, taken: int) -> float:
+    """Share of corrupted SPSA rounds the guard caught."""
+    total = avoided + taken
+    return avoided / total if total else 0.0

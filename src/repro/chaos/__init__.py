@@ -1,0 +1,43 @@
+"""Chaos engineering for the simulated Spark Streaming stack.
+
+Declarative fault schedules (:mod:`repro.chaos.events`) drive injectors
+(:mod:`repro.chaos.injectors`) through a boundary-hooked engine
+(:mod:`repro.chaos.engine`); :mod:`repro.chaos.runner` ties a schedule
+to a NoStop experiment and :mod:`repro.chaos.report` serializes the
+outcome deterministically.
+"""
+
+from .engine import ChaosEngine, EventRecord
+from .events import AtTime, FaultEvent, FaultSchedule, Periodic, RateAbove
+from .injectors import (
+    BrokerOutage,
+    DataSkewBurst,
+    ExecutorCrash,
+    Injector,
+    NodeOutage,
+    StragglerSlowdown,
+)
+from .report import ChaosReport, EventOutcome, build_event_outcomes
+from .runner import ChaosRunResult, run_chaos_scenario, standard_chaos_schedule
+
+__all__ = [
+    "AtTime",
+    "BrokerOutage",
+    "ChaosEngine",
+    "ChaosReport",
+    "ChaosRunResult",
+    "DataSkewBurst",
+    "EventOutcome",
+    "EventRecord",
+    "ExecutorCrash",
+    "FaultEvent",
+    "FaultSchedule",
+    "Injector",
+    "NodeOutage",
+    "Periodic",
+    "RateAbove",
+    "StragglerSlowdown",
+    "build_event_outcomes",
+    "run_chaos_scenario",
+    "standard_chaos_schedule",
+]

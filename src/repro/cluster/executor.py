@@ -49,17 +49,30 @@ class Executor:
     memory_gb: float = DEFAULT_EXECUTOR_MEMORY_GB
     launched_at: float = 0.0
     initialized: bool = field(default=False)
+    slowdown: float = field(default=1.0)
+    """Multiplicative service-time degradation (1.0 = healthy).  Chaos
+    straggler injection raises this for a while; task durations scale by
+    it through :attr:`speed_factor`."""
 
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ValueError(f"executor needs at least one core, got {self.cores}")
         if self.memory_gb <= 0:
             raise ValueError(f"memory_gb must be positive, got {self.memory_gb}")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1.0, got {self.slowdown}")
 
     @property
     def speed_factor(self) -> float:
-        """Per-core throughput of the hosting node."""
-        return self.node.speed_factor
+        """Per-core throughput of the hosting node, degraded by any
+        active straggler slowdown."""
+        return self.node.speed_factor / self.slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Apply (or with ``1.0`` clear) a straggler slowdown."""
+        if factor < 1.0:
+            raise ValueError(f"slowdown must be >= 1.0, got {factor}")
+        self.slowdown = factor
 
     @property
     def io_penalty(self) -> float:

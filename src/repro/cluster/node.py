@@ -102,6 +102,7 @@ class Node:
     disk: DiskType = DiskType.SSD
     role: NodeRole = NodeRole.WORKER
     memory_gb: float = 16.0
+    online: bool = True
     _used_cores: int = field(default=0, repr=False)
     _used_memory_gb: float = field(default=0.0, repr=False)
 
@@ -113,8 +114,13 @@ class Node:
 
     @property
     def executor_capacity(self) -> int:
-        """How many 1-core executors this node could host in total."""
-        if self.role is NodeRole.MASTER:
+        """How many 1-core executors this node could host in total.
+
+        An offline node (chaos-injected outage) contributes zero capacity
+        until it comes back, which shrinks ``max_executors`` cluster-wide
+        — exactly the infrastructure churn NoStop must tolerate.
+        """
+        if self.role is NodeRole.MASTER or not self.online:
             return 0
         return self.cpu.cores
 
@@ -132,9 +138,24 @@ class Node:
 
     def can_host(self, cores: int, memory_gb: float) -> bool:
         """Whether the node has room for an executor of the given size."""
-        if self.role is NodeRole.MASTER:
+        if self.role is NodeRole.MASTER or not self.online:
             return False
         return self.free_cores >= cores and self.free_memory_gb >= memory_gb
+
+    # -- availability (node-level fault injection) --------------------------
+
+    def set_offline(self) -> None:
+        """Take the node out of service (chaos-injected outage).
+
+        Executors already running on the node must be failed separately
+        (see :class:`repro.chaos.injectors.NodeOutage`); an offline node
+        simply refuses new allocations and reports zero capacity.
+        """
+        self.online = False
+
+    def set_online(self) -> None:
+        """Return the node to service after an outage."""
+        self.online = True
 
     def allocate(self, cores: int, memory_gb: float) -> None:
         """Reserve resources for an executor.

@@ -83,6 +83,23 @@ class ResourceManager:
         return total
 
     @property
+    def available_capacity(self) -> int:
+        """Executors that could still be launched right now.
+
+        Unlike :attr:`max_executors` this accounts for resources already
+        allocated and for offline nodes, so ``scale_to`` can verify an
+        upscale atomically before launching anything.
+        """
+        total = 0
+        for node in self.cluster.workers:
+            if not node.can_host(self.executor_cores, self.executor_memory_gb):
+                continue
+            by_cores = node.free_cores // self.executor_cores
+            by_mem = int(node.free_memory_gb // self.executor_memory_gb)
+            total += min(by_cores, by_mem)
+        return total
+
+    @property
     def total_cores(self) -> int:
         return sum(e.cores for e in self._executors.values())
 
@@ -168,6 +185,16 @@ class ResourceManager:
             )
         delta = target - self.executor_count
         if delta > 0:
+            # Atomic pre-check: verify the whole upscale fits before
+            # launching anything, so a capacity shortfall (e.g. a chaos
+            # node outage holding resources) cannot leave a partially
+            # applied configuration behind.
+            if delta > self.available_capacity:
+                raise InsufficientResourcesError(
+                    f"cluster {self.cluster.name!r} can host only "
+                    f"{self.available_capacity} more executors, "
+                    f"need {delta} to reach target {target}"
+                )
             for _ in range(delta):
                 self.launch_executor(now=now)
         elif delta < 0:

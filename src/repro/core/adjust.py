@@ -29,6 +29,20 @@ from .pause import STABILITY_MARGIN
 class ControlledSystem(abc.ABC):
     """What NoStop requires of the system under optimization."""
 
+    #: Whether the most recent ``apply_configuration`` failed to take
+    #: effect (e.g. the cluster could not host the requested executors
+    #: during an outage).  Concrete systems with a failure mode set this;
+    #: the default never fails.
+    last_apply_failed: bool = False
+
+    def degraded(self) -> bool:
+        """Whether the substrate currently has active faults.
+
+        The hardened controller widens the measurement window while this
+        is True.  Systems without fault telemetry report False.
+        """
+        return False
+
     @abc.abstractmethod
     def apply_configuration(
         self,
@@ -73,6 +87,27 @@ class AdjustResult:
     num_executors: int
     measurement: Measurement
     rho: float
+    apply_failed: bool = False
+    """The configuration could not be applied (infrastructure outage);
+    the measurement reflects a fallback configuration, not θ."""
+    measured_at: float = 0.0
+    """System time when the measurement window closed (lets analysis
+    place each probe before/after a fault without round granularity)."""
+
+    @property
+    def tainted(self) -> bool:
+        """Whether the measurement window kept suspected-corrupt batches."""
+        return self.measurement.tainted
+
+    @property
+    def corrupted(self) -> bool:
+        """Whether this result would poison an SPSA gradient.
+
+        True when the configuration never took effect (the objective
+        belongs to some other θ) or the measurement window is tainted by
+        fault transients the collector could not reject.
+        """
+        return self.apply_failed or self.measurement.tainted
 
     @property
     def stable(self) -> bool:
@@ -152,11 +187,18 @@ class AdjustFunction:
         self.calls = 0
 
     def __call__(self, theta_scaled: Sequence[float], rho: float) -> AdjustResult:
-        """Apply θ, measure, and return the objective (Algorithm 2)."""
+        """Apply θ, measure, and return the objective (Algorithm 2).
+
+        Degraded-mode policy: the collector is told whether the substrate
+        currently has active faults *before* the window opens, so fault
+        windows are measured with the widened window rather than
+        retro-actively."""
         config = theta_to_configuration(theta_scaled, self.scaler)
         interval, executors = config[0], config[1]
         partitions = config[2] if len(config) > 2 else None
         self.system.apply_configuration(interval, executors, partitions=partitions)
+        apply_failed = bool(self.system.last_apply_failed)
+        self.collector.set_degraded(self.system.degraded())
         self.collector.start_measurement()
         measurement = self.system.collect(self.collector)
         objective = penalized_objective(
@@ -169,4 +211,6 @@ class AdjustFunction:
             num_executors=executors,
             measurement=measurement,
             rho=rho,
+            apply_failed=apply_failed,
+            measured_at=self.system.time,
         )

@@ -1,4 +1,4 @@
-"""Metric-collection protocol (§5.4).
+"""Metric-collection protocol (§5.4), hardened against fault transients.
 
 Two rules govern how NoStop turns raw batch reports into one measurement:
 
@@ -11,12 +11,30 @@ Two rules govern how NoStop turns raw batch reports into one measurement:
    extra batch per newly completed batch, up to a cap), so a temporary
    wobble does not needlessly restart optimization, while a real change
    is still noticed within the capped window.
+
+Two chaos-era extensions (both off by default, enabled by the hardened
+controller):
+
+3. **MAD outlier rejection** — an executor crash or straggler mid-window
+   produces one wildly inflated batch among otherwise clean ones.  With
+   ``mad_threshold`` set, batches whose modified z-score (0.6745·(x−med)
+   / MAD over processing times) exceeds the threshold are dropped and
+   the window refills once (one retry); if corruption persists, the
+   measurement is summarized anyway but flagged *tainted* so the
+   optimizer can refuse to differentiate through it.  Rejection is
+   one-sided: only abnormally *slow* batches are outliers — faults
+   inflate processing time, and discarding fast batches would bias the
+   objective optimistically.
+
+4. **Degraded mode** — while the chaos engine reports active faults the
+   effective window widens by ``degraded_extra`` batches, trading
+   measurement latency for variance exactly when variance spikes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +52,11 @@ class Measurement:
     batches_used: int
     skipped: int
     std_processing_time: float = 0.0
+    outliers_rejected: int = 0
+    """Batches this window dropped as fault-corrupted (MAD rejection)."""
+    tainted: bool = False
+    """True when the rejection budget ran out and suspect batches remain
+    in the average — the optimizer should not trust this gradient."""
 
     def __post_init__(self) -> None:
         if self.batches_used < 1:
@@ -48,6 +71,10 @@ class MetricsCollector:
         window: int = 3,
         max_window: int = 12,
         skip_first_after_reconfig: bool = True,
+        mad_threshold: Optional[float] = None,
+        reject_outliers: bool = True,
+        max_retries: int = 1,
+        degraded_extra: int = 3,
     ) -> None:
         if window < 1:
             raise ValueError(f"window must be >= 1, got {window}")
@@ -55,19 +82,58 @@ class MetricsCollector:
             raise ValueError(
                 f"max_window ({max_window}) must be >= window ({window})"
             )
+        if mad_threshold is not None and mad_threshold <= 0:
+            raise ValueError(
+                f"mad_threshold must be positive, got {mad_threshold}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if degraded_extra < 0:
+            raise ValueError(f"degraded_extra must be >= 0, got {degraded_extra}")
         self.base_window = window
         self.max_window = max_window
         self.skip_first_after_reconfig = skip_first_after_reconfig
+        self.mad_threshold = mad_threshold
+        #: When False, outliers are *detected* (the measurement is
+        #: flagged tainted) but kept in the average — detection-only
+        #: mode, used by the unhardened ablation arm so poisoned steps
+        #: can be counted without changing the paper's measurements.
+        self.reject_outliers = reject_outliers
+        self.max_retries = max_retries
+        self.degraded_extra = degraded_extra
         self._window = window
+        self._degraded = False
         self._buffer: List[BatchInfo] = []
+        self._retries_used = 0
+        self._window_rejected = 0
         self.total_skipped = 0
+        #: cumulative fault-corrupted batches dropped across all windows
+        self.outliers_rejected = 0
+        #: whether the most recent measurement was flagged tainted
+        self.last_tainted = False
 
     # -- window management (additive increase, §5.4) -----------------------
 
     @property
     def window(self) -> int:
-        """Current number of batches required per measurement."""
-        return self._window
+        """Current number of batches required per measurement.
+
+        Includes the degraded-mode widening: while faults are active the
+        window grows by ``degraded_extra`` so one transient cannot
+        dominate the average.
+        """
+        w = self._window
+        if self._degraded:
+            w += self.degraded_extra
+        return w
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
+
+    def set_degraded(self, active: bool) -> None:
+        """Enter/leave degraded mode (faults active on the substrate)."""
+        self._degraded = bool(active)
 
     def relax_window(self) -> int:
         """Additive increase: one more batch per completed batch at the
@@ -85,21 +151,66 @@ class MetricsCollector:
 
         A measurement window must cover exactly one configuration;
         without this, a window left half-full by one probe would blend
-        into the next probe's average.
+        into the next probe's average.  Also resets the per-measurement
+        outlier-retry budget and taint flag.
         """
         self._buffer.clear()
+        self._retries_used = 0
+        self._window_rejected = 0
+        self.last_tainted = False
+
+    # -- outlier rejection (chaos hardening) --------------------------------
+
+    def _split_outliers(
+        self, batches: List[BatchInfo]
+    ) -> Tuple[List[BatchInfo], List[BatchInfo]]:
+        """Partition the window into (clean, corrupted) by modified z-score."""
+        proc = np.array([b.processing_time for b in batches])
+        med = float(np.median(proc))
+        mad = float(np.median(np.abs(proc - med)))
+        if mad < 1e-9:
+            # Degenerate spread (near-identical batches): only a gross
+            # inflation — several times the median — counts as corrupted.
+            cut = 3.0 * med + 1.0
+            mask = proc > cut
+        else:
+            z = 0.6745 * (proc - med) / mad
+            mask = z > self.mad_threshold
+        clean = [b for b, bad in zip(batches, mask) if not bad]
+        corrupt = [b for b, bad in zip(batches, mask) if bad]
+        return clean, corrupt
 
     # -- ingestion ----------------------------------------------------------
 
     def offer(self, info: BatchInfo) -> Optional[Measurement]:
         """Feed one completed batch; returns a measurement when the
-        window fills, else None."""
+        window fills, else None.
+
+        With MAD rejection enabled, a filled window containing corrupted
+        batches is purged and refilled (up to ``max_retries`` times per
+        measurement) before being summarized.
+        """
         if self.skip_first_after_reconfig and info.first_after_reconfig:
             self.total_skipped += 1
             return None
         self._buffer.append(info)
-        if len(self._buffer) < self._window:
+        if len(self._buffer) < self.window:
             return None
+        if self.mad_threshold is not None:
+            clean, corrupt = self._split_outliers(self._buffer)
+            if (
+                corrupt
+                and self.reject_outliers
+                and self._retries_used < self.max_retries
+                and clean
+            ):
+                self._retries_used += 1
+                self.outliers_rejected += len(corrupt)
+                self._window_rejected += len(corrupt)
+                self._buffer = clean
+                return None  # keep collecting replacements
+            if corrupt:
+                self.last_tainted = True
         measurement = self.summarize(self._buffer)
         self._buffer.clear()
         return measurement
@@ -126,4 +237,6 @@ class MetricsCollector:
             batches_used=len(batches),
             skipped=self.total_skipped,
             std_processing_time=float(np.std(proc)),
+            outliers_rejected=self._window_rejected,
+            tainted=self.last_tainted,
         )

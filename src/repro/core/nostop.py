@@ -55,6 +55,9 @@ class RoundRecord:
     plus_result: Optional[AdjustResult] = None
     minus_result: Optional[AdjustResult] = None
     monitor: Optional[Measurement] = None
+    guarded: bool = False
+    """True when the round's SPSA update was skipped because a probe was
+    corrupted (failed apply or tainted window) — a poisoned step avoided."""
 
     @property
     def mean_delay(self) -> Optional[float]:
@@ -93,6 +96,12 @@ class NoStopReport:
     final_interval: float = 0.0
     final_executors: int = 0
     best: Optional[EvaluatedConfig] = None
+    poisoned_steps_avoided: int = 0
+    """SPSA updates skipped because a probe was corrupted (guard on)."""
+    poisoned_steps_taken: int = 0
+    """SPSA updates that consumed a corrupted probe (guard off)."""
+    corrupted_retries: int = 0
+    """Probes re-measured after a corrupted first attempt."""
 
     @property
     def search_time(self) -> Optional[float]:
@@ -122,6 +131,7 @@ class NoStopController:
         rho_schedule: Optional[RhoSchedule] = None,
         seed: int = 0,
         stability_slack: float = 1.05,
+        harden: bool = True,
     ) -> None:
         self.system = system
         self.scaler = scaler
@@ -145,6 +155,14 @@ class NoStopController:
         if stability_slack < 1.0:
             raise ValueError("stability_slack must be >= 1.0")
         self.stability_slack = stability_slack
+        #: Fault-tolerant adjust loop: retry corrupted probes once and
+        #: skip SPSA updates that would consume a corrupted measurement.
+        #: Has no effect while the substrate behaves (corruption flags
+        #: only rise during failed applies / tainted windows).
+        self.harden = harden
+        self.poisoned_steps_avoided = 0
+        self.poisoned_steps_taken = 0
+        self.corrupted_retries = 0
 
         self.paused = False
         self._rounds_run = 0
@@ -205,17 +223,48 @@ class NoStopController:
         self.report.rounds.append(record)
         return record
 
+    def _probe(self, theta: np.ndarray) -> AdjustResult:
+        """One perturbed measurement, re-measured once if corrupted.
+
+        The re-measure re-applies θ, so a transient failure (executor
+        slot back, broker recovered) heals within the same round; a
+        persisting outage leaves the result corrupted for the guard.
+        """
+        result = self.adjust(theta, self.rho.value)
+        self._observe_rate()
+        if result.corrupted and self.harden:
+            self.corrupted_retries += 1
+            result = self.adjust(theta, self.rho.value)
+            self._observe_rate()
+        return result
+
     def _optimize_round(self) -> RoundRecord:
         theta_plus, theta_minus, delta, c_k = self.spsa.propose()
-        plus = self.adjust(theta_plus, self.rho.value)
-        self._observe_rate()
-        minus = self.adjust(theta_minus, self.rho.value)
-        self._observe_rate()
-        self.spsa.apply_measurements(
-            theta_plus, theta_minus, delta, c_k, plus.objective, minus.objective
-        )
-        self._record_evaluation(plus, theta_plus)
-        self._record_evaluation(minus, theta_minus)
+        plus = self._probe(theta_plus)
+        minus = self._probe(theta_minus)
+        corrupted = plus.corrupted or minus.corrupted
+        guarded = False
+        if corrupted and self.harden:
+            # Guard: differentiating through a measurement of "some other
+            # configuration" (failed apply) or a fault transient would
+            # hand SPSA a garbage gradient.  Roll back — θ stays at the
+            # current estimate — and let the next round re-probe.
+            guarded = True
+            self.poisoned_steps_avoided += 1
+        else:
+            if corrupted:
+                self.poisoned_steps_taken += 1
+            self.spsa.apply_measurements(
+                theta_plus, theta_minus, delta, c_k,
+                plus.objective, minus.objective,
+            )
+        # Corrupted probes never enter the ranking history either: a
+        # lucky-looking objective measured under a failed apply would
+        # park the system at a configuration that was never tested.
+        if not plus.corrupted:
+            self._record_evaluation(plus, theta_plus)
+        if not minus.corrupted:
+            self._record_evaluation(minus, theta_minus)
         self.rho.step()
 
         if self.pause_rule.should_pause():
@@ -233,6 +282,7 @@ class NoStopController:
             num_executors=executors,
             plus_result=plus,
             minus_result=minus,
+            guarded=guarded,
         )
 
     def _enter_pause(self) -> None:
@@ -258,15 +308,32 @@ class NoStopController:
 
         config = theta_to_configuration(np.asarray(best.theta), self.scaler)
         interval, executors = config[0], config[1]
+        self.collector.set_degraded(self.system.degraded())
         measurement = self.system.collect(self.collector)
         self._observe_rate()
         # Fold the monitoring window back into the parked configuration's
         # evaluation history: a configuration that ranked best off one
         # lucky probe window is corrected by its own steady-state
         # behaviour (the pause rule averages repeated measurements).
+        # A tainted monitoring window (fault transient the collector
+        # could not reject) is skipped — it would unfairly demote the
+        # parked optimum for infrastructure noise it did not cause.
         from .objective import penalized_objective
         from .pause import steady_state_delay
 
+        if measurement.tainted and self.harden:
+            return RoundRecord(
+                round_index=self._rounds_run,
+                k=self.spsa.k,
+                phase="paused",
+                sim_time=self.system.time,
+                rho=self.rho.value,
+                theta_scaled=np.asarray(best.theta, dtype=float),
+                batch_interval=interval,
+                num_executors=executors,
+                monitor=measurement,
+                guarded=True,
+            )
         self.pause_rule.record(
             EvaluatedConfig(
                 theta=best.theta,
@@ -324,6 +391,8 @@ class NoStopController:
                 return
             theta = np.asarray(best.theta, dtype=float)
             result = self.adjust(theta, self.rho.cap)
+            if result.corrupted and self.harden:
+                continue  # don't let a fault transient demote/confirm
             self.pause_rule.record(
                 evaluate_config(result, theta, self.spsa.k, rho_cap=self.rho.cap)
             )
@@ -337,6 +406,9 @@ class NoStopController:
         if confirm:
             self.confirm_best()
         self.report.config_changes = self.system.config_changes
+        self.report.poisoned_steps_avoided = self.poisoned_steps_avoided
+        self.report.poisoned_steps_taken = self.poisoned_steps_taken
+        self.report.corrupted_retries = self.corrupted_retries
         if self.pause_rule.evaluations:
             best = self.pause_rule.best_config()
             self.report.best = best

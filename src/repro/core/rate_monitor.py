@@ -29,16 +29,28 @@ class RateMonitor:
         window: int = 12,
         relative: bool = True,
         min_samples: int = 4,
+        cooldown: int = 0,
     ) -> None:
+        """``cooldown`` is the reset hysteresis: after a triggered reset,
+        that many further observations are ignored by :meth:`need_reset`
+        before it can fire again.  Without it, a single post-fault rate
+        spike sitting in the refilled window re-triggers a coefficient
+        reset on every subsequent round — a reset storm that keeps SPSA
+        permanently at iteration zero while the pipeline is trying to
+        recover."""
         if threshold <= 0:
             raise ValueError(f"threshold must be positive, got {threshold}")
         if window < 2:
             raise ValueError(f"window must be >= 2, got {window}")
         if not (2 <= min_samples <= window):
             raise ValueError("need 2 <= min_samples <= window")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
         self.threshold = threshold
         self.relative = relative
         self.min_samples = min_samples
+        self.cooldown = cooldown
+        self._cooldown_left = 0
         self._rates: Deque[float] = deque(maxlen=window)
         self.resets_triggered = 0
 
@@ -47,6 +59,8 @@ class RateMonitor:
         if rate < 0:
             raise ValueError(f"rate must be >= 0, got {rate}")
         self._rates.append(rate)
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
 
     @property
     def samples(self) -> int:
@@ -64,13 +78,23 @@ class RateMonitor:
             return std / mean if mean > 0 else 0.0
         return std
 
+    @property
+    def in_cooldown(self) -> bool:
+        """Whether the post-reset hysteresis is still suppressing triggers."""
+        return self._cooldown_left > 0
+
     def need_reset(self) -> bool:
         """Table 1's ``needResetCoefficient()``."""
+        if self._cooldown_left > 0:
+            return False
         if len(self._rates) < self.min_samples:
             return False
         return self.current_std() > self.threshold
 
     def acknowledge_reset(self) -> None:
-        """Clear the window after a reset so one surge fires one restart."""
+        """Clear the window after a reset so one surge fires one restart,
+        and arm the cooldown so the next ``cooldown`` observations cannot
+        immediately re-trigger."""
         self.resets_triggered += 1
         self._rates.clear()
+        self._cooldown_left = self.cooldown

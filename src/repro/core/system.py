@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.cluster.resource_manager import InsufficientResourcesError
 from repro.streaming.context import StreamingContext
 from repro.streaming.metrics import BatchInfo
 
@@ -49,8 +50,20 @@ class SimulatedSparkSystem(ControlledSystem):
         self.context = context
         self.max_boundaries = max_boundaries_per_measurement
         self._last_config_time = 0.0
+        #: whether the most recent apply_configuration failed (guarded
+        #: reconfiguration: the caller must not trust the gradient)
+        self.last_apply_failed = False
+        #: total failed configuration applications
+        self.failed_applies = 0
+        #: optional fault-telemetry source (e.g. a ChaosEngine) exposing
+        #: a ``faults_active`` attribute; drives degraded-mode measuring
+        self.health_source = None
 
     # -- ControlledSystem ---------------------------------------------------
+
+    def degraded(self) -> bool:
+        source = self.health_source
+        return bool(source is not None and source.faults_active)
 
     def apply_configuration(
         self,
@@ -58,11 +71,31 @@ class SimulatedSparkSystem(ControlledSystem):
         num_executors: int,
         partitions: Optional[int] = None,
     ) -> None:
-        self.context.change_configuration(
-            batch_interval=batch_interval,
-            num_executors=num_executors,
-            partitions=partitions,
-        )
+        """Guarded reconfiguration.
+
+        During an infrastructure outage the cluster may be unable to host
+        the requested executor count; Spark's dynamic-allocation request
+        would simply not be honored.  Rather than crashing the optimizer
+        (or worse, silently measuring a half-applied θ as if it were θ),
+        the guard keeps the live pool, applies the remaining tunables,
+        and raises the ``last_apply_failed`` flag so Adjust marks the
+        measurement corrupted and the controller skips the SPSA step.
+        """
+        self.last_apply_failed = False
+        try:
+            self.context.change_configuration(
+                batch_interval=batch_interval,
+                num_executors=num_executors,
+                partitions=partitions,
+            )
+        except InsufficientResourcesError:
+            self.last_apply_failed = True
+            self.failed_applies += 1
+            # Fall back: keep the surviving executor pool (the scale
+            # failed atomically), still honor interval/partitions.
+            self.context.change_configuration(
+                batch_interval=batch_interval, partitions=partitions
+            )
         self._last_config_time = self.context.time
 
     def collect(self, collector: MetricsCollector) -> Measurement:

@@ -75,6 +75,10 @@ class DataGenerator:
     def set_rate_cap(self, cap: Optional[float]) -> None:
         self.producer.set_rate_cap(cap)
 
+    def set_surge(self, multiplier: float) -> None:
+        """Multiplicative burst on the offered rate (chaos data skew)."""
+        self.producer.set_surge(multiplier)
+
     def sample_payloads(self, n: int, dim: int = 10) -> Sequence:
         """Synthesize ``n`` payloads of this generator's kind."""
         if n < 0:

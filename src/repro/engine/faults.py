@@ -17,9 +17,17 @@ demonstrating the scheme's transparency to infrastructure churn.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
+
+#: Upper bound on the worst-case wasted work per task, expressed as a
+#: multiple of the task's nominal duration: ``(max_attempts - 1)`` failed
+#: attempts each wasting up to ``max_waste_fraction``.  Beyond this a
+#: single task can inflate a batch by nearly an order of magnitude, which
+#: no measurement protocol distinguishes from a hang.
+MAX_WORST_CASE_WASTE = 8.0
 
 
 @dataclass(frozen=True)
@@ -29,7 +37,9 @@ class FaultModel:
     Parameters
     ----------
     task_failure_prob:
-        Probability that any given task attempt fails mid-run.
+        Probability that any given task attempt fails mid-run.  Must be
+        in ``[0, 1)``: a probability of exactly 1.0 would make every
+        retry fail too, so no task could ever complete.
     max_attempts:
         Attempts per task before the failure budget is exhausted
         (Spark's ``spark.task.maxFailures``); the final attempt always
@@ -55,6 +65,20 @@ class FaultModel:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if not (0.0 <= self.min_waste_fraction <= self.max_waste_fraction <= 1.0):
             raise ValueError("need 0 <= min_waste <= max_waste <= 1")
+        worst = (self.max_attempts - 1) * self.max_waste_fraction
+        if worst > MAX_WORST_CASE_WASTE:
+            raise ValueError(
+                "worst-case wasted work per task is "
+                f"{worst:.2f}x its duration ((max_attempts - 1) * "
+                f"max_waste_fraction); must be <= {MAX_WORST_CASE_WASTE}"
+            )
+
+    def with_prob(self, task_failure_prob: float) -> "FaultModel":
+        """A copy of this model with a different failure probability.
+
+        Convenience for sweeps that vary fault pressure while keeping the
+        retry/waste envelope fixed."""
+        return dataclasses.replace(self, task_failure_prob=task_failure_prob)
 
     @property
     def enabled(self) -> bool:

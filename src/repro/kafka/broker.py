@@ -28,11 +28,20 @@ class KafkaBroker:
 
     broker_id: int
     max_throughput: float = 1_000_000.0
+    online: bool = True
     _assignments: List[Tuple[str, int]] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_throughput <= 0:
             raise ValueError("max_throughput must be positive")
+
+    def set_offline(self) -> None:
+        """Take the broker down (chaos outage); fetches from its
+        partitions fail until :meth:`set_online`."""
+        self.online = False
+
+    def set_online(self) -> None:
+        self.online = True
 
     def assign(self, topic: str, partition_id: int) -> None:
         key = (topic, partition_id)

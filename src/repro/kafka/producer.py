@@ -39,6 +39,7 @@ class RateControlledProducer:
         self.trace = trace
         self.tick = float(tick)
         self.rate_cap = rate_cap
+        self.surge = 1.0
         self._produced_until = 0.0
         self.total_produced = 0
         self.total_throttled = 0
@@ -53,6 +54,17 @@ class RateControlledProducer:
         if cap is not None and cap <= 0:
             raise ValueError(f"rate_cap must be positive, got {cap}")
         self.rate_cap = cap
+
+    def set_surge(self, multiplier: float) -> None:
+        """Multiply the trace rate (chaos data-skew burst; 1.0 = normal).
+
+        Applied on top of the configured trace, before the rate cap, so a
+        burst can both inflate batches and trip the back-pressure
+        throttle — the two ways a real skew event hurts.
+        """
+        if multiplier <= 0:
+            raise ValueError(f"surge multiplier must be positive, got {multiplier}")
+        self.surge = float(multiplier)
 
     def produce_until(self, t: float) -> int:
         """Materialize all arrivals in ``[produced_until, t)``.
@@ -72,6 +84,8 @@ class RateControlledProducer:
             t0 = self._produced_until
             t1 = min(t0 + self.tick, t)
             want = self.trace.records_between(t0, t1)
+            if self.surge != 1.0:
+                want = int(round(want * self.surge))
             if self.rate_cap is not None:
                 allowed = int(math.floor(self.rate_cap * (t1 - t0)))
                 if want > allowed:

@@ -20,7 +20,7 @@ modified Spark applies reconfigurations between batches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -94,6 +94,9 @@ class StreamingContext:
         #: Simulation time of the most recent batch boundary.
         self.time = 0.0
         self.config_changes = 0
+        #: Callbacks invoked with the upcoming boundary time before each
+        #: batch closes — the chaos engine's injection point.
+        self._boundary_hooks: List[Callable[[float], None]] = []
 
     # -- configuration ----------------------------------------------------
 
@@ -131,11 +134,16 @@ class StreamingContext:
         if partitions is not None and partitions < 1:
             raise ValueError(f"partitions must be >= 1, got {partitions}")
         changed = False
-        if abs(new_interval - self._interval) > 1e-12:
-            self._interval = new_interval
-            changed = True
+        # Scale executors before committing the interval: scaling is the
+        # only step that can fail (insufficient capacity during a chaos
+        # node outage), and doing it first keeps the change transactional
+        # — a raised InsufficientResourcesError leaves the configuration
+        # exactly as it was.
         if new_execs != self.num_executors:
             self.resource_manager.scale_to(new_execs, now=self.time)
+            changed = True
+        if abs(new_interval - self._interval) > 1e-12:
+            self._interval = new_interval
             changed = True
         if partitions is not None and partitions != self.workload.partitions:
             self.workload.partitions = partitions
@@ -145,6 +153,15 @@ class StreamingContext:
             self.engine.note_reconfiguration(self.time, self.overhead.reconfig_pause)
 
     # -- simulation ---------------------------------------------------------
+
+    def add_boundary_hook(self, hook: Callable[[float], None]) -> None:
+        """Register a callback fired with each upcoming boundary time.
+
+        Hooks run *before* the batch at that boundary closes, so a hook
+        that crashes an executor or stalls the receiver affects the batch
+        being formed — the chaos engine's injection point.
+        """
+        self._boundary_hooks.append(hook)
 
     def advance_one_batch(self) -> List[BatchInfo]:
         """Advance to the next batch boundary.
@@ -156,6 +173,8 @@ class StreamingContext:
         catches up).
         """
         boundary = self.time + self._interval
+        for hook in self._boundary_hooks:
+            hook(boundary)
         received = self.receiver.close_batch(boundary)
         job = self.workload.build_job(boundary, received.records, self.rng)
         self.queue.enqueue(

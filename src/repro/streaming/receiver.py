@@ -31,6 +31,28 @@ class Receiver:
         self.generator = generator
         self.consumer = DirectStreamConsumer(generator.producer.topic)
         self._last_poll = 0.0
+        self._stalled = False
+        self.stall_windows = 0
+
+    # -- fault injection (broker outage / receiver stall) -------------------
+
+    @property
+    def stalled(self) -> bool:
+        """Whether fetches are currently failing (broker outage)."""
+        return self._stalled
+
+    def stall(self) -> None:
+        """Stop fetching: brokers are unreachable.
+
+        Producers keep appending to the topic, so the backlog grows and
+        bursts into the first batch formed after :meth:`resume` — the
+        recovery transient NoStop's robust collector must reject.
+        """
+        self._stalled = True
+
+    def resume(self) -> None:
+        """Brokers reachable again; the next poll drains the backlog."""
+        self._stalled = False
 
     @property
     def backlog(self) -> int:
@@ -60,6 +82,15 @@ class Receiver:
                 f"{self._last_poll}"
             )
         self.generator.advance_to(batch_time)
+        if self._stalled:
+            # Brokers down: records pile up in the topic but none can be
+            # fetched, so this batch is empty.  Offsets stay committed
+            # where they were; the post-recovery poll gets the backlog.
+            self._last_poll = batch_time
+            self.stall_windows += 1
+            return ReceivedBatch(
+                batch_time=batch_time, records=0, mean_arrival_time=batch_time
+            )
         batch = self.consumer.poll(batch_time)
         mean_arrival = self.consumer.mean_arrival_time(batch)
         self._last_poll = batch_time

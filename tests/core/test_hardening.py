@@ -1,0 +1,166 @@
+"""Unit tests for the chaos-hardened measurement machinery:
+MAD outlier rejection, degraded-mode windows, and the rate-monitor
+reset cooldown."""
+
+import pytest
+
+from repro.core.metrics_collector import MetricsCollector
+from repro.core.rate_monitor import RateMonitor
+from repro.streaming.metrics import BatchInfo
+
+
+def binfo(idx, proc=3.0, bt=10.0, interval=5.0, first=False):
+    return BatchInfo(
+        batch_index=idx,
+        batch_time=bt,
+        interval=interval,
+        records=100,
+        num_executors=4,
+        mean_arrival_time=bt - interval / 2,
+        processing_start=bt,
+        processing_end=bt + proc,
+        first_after_reconfig=first,
+    )
+
+
+class TestMadRejection:
+    def test_crash_inflated_batch_rejected_and_window_refilled(self):
+        c = MetricsCollector(window=3, mad_threshold=3.5)
+        c.start_measurement()
+        assert c.offer(binfo(0, proc=3.0)) is None
+        assert c.offer(binfo(1, proc=3.1)) is None
+        # Executor crash mid-window: one wildly inflated batch.  The
+        # full window is not summarized — the outlier is dropped and the
+        # collector asks for a replacement batch instead.
+        assert c.offer(binfo(2, proc=40.0)) is None
+        assert c.outliers_rejected == 1
+        m = c.offer(binfo(3, proc=2.9))
+        assert m is not None
+        assert m.mean_processing_time == pytest.approx(3.0, abs=0.2)
+        assert m.outliers_rejected == 1
+        assert not m.tainted
+
+    def test_persistent_corruption_taints_measurement(self):
+        c = MetricsCollector(window=3, mad_threshold=3.5, max_retries=1)
+        c.start_measurement()
+        c.offer(binfo(0, proc=3.0))
+        c.offer(binfo(1, proc=3.1))
+        assert c.offer(binfo(2, proc=40.0)) is None  # retry budget spent
+        m = c.offer(binfo(3, proc=45.0))  # corruption persists
+        assert m is not None
+        assert m.tainted
+        assert c.last_tainted
+
+    def test_one_sided_fast_batches_are_not_outliers(self):
+        c = MetricsCollector(window=4, mad_threshold=3.5)
+        c.start_measurement()
+        for i, proc in enumerate((3.0, 3.1, 2.9, 0.01)):
+            m = c.offer(binfo(i, proc=proc))
+        # An abnormally *fast* batch is kept: faults only inflate.
+        assert m is not None
+        assert c.outliers_rejected == 0
+
+    def test_detection_only_mode_keeps_outliers(self):
+        c = MetricsCollector(
+            window=3, mad_threshold=3.5, reject_outliers=False
+        )
+        c.start_measurement()
+        c.offer(binfo(0, proc=3.0))
+        c.offer(binfo(1, proc=3.0))
+        m = c.offer(binfo(2, proc=40.0))
+        assert m is not None
+        assert m.tainted
+        # The outlier stayed in the average (paper-exact measurement).
+        assert m.mean_processing_time > 10.0
+        assert c.outliers_rejected == 0
+
+    def test_disabled_by_default(self):
+        c = MetricsCollector(window=3)
+        c.start_measurement()
+        c.offer(binfo(0, proc=3.0))
+        c.offer(binfo(1, proc=3.0))
+        m = c.offer(binfo(2, proc=40.0))
+        assert m is not None
+        assert not m.tainted
+        assert m.outliers_rejected == 0
+
+    def test_start_measurement_resets_retry_budget_and_taint(self):
+        c = MetricsCollector(window=3, mad_threshold=3.5, max_retries=1)
+        c.start_measurement()
+        c.offer(binfo(0, proc=3.0))
+        c.offer(binfo(1, proc=3.0))
+        assert c.offer(binfo(2, proc=40.0)) is None  # retry budget spent
+        m = c.offer(binfo(3, proc=41.0))
+        assert m is not None and m.tainted
+        c.start_measurement()
+        assert not c.last_tainted
+        c.offer(binfo(4, proc=3.0))
+        c.offer(binfo(5, proc=3.0))
+        # Fresh retry budget: the outlier is rejected again, not tainted.
+        assert c.offer(binfo(6, proc=40.0)) is None
+        assert not c.last_tainted
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(mad_threshold=0.0)
+        with pytest.raises(ValueError):
+            MetricsCollector(max_retries=-1)
+        with pytest.raises(ValueError):
+            MetricsCollector(degraded_extra=-1)
+
+
+class TestDegradedMode:
+    def test_window_widens_while_faults_active(self):
+        c = MetricsCollector(window=3, degraded_extra=2)
+        assert c.window == 3
+        c.set_degraded(True)
+        assert c.window == 5
+        c.set_degraded(False)
+        assert c.window == 3
+
+    def test_degraded_window_needs_more_batches(self):
+        c = MetricsCollector(window=2, degraded_extra=2)
+        c.set_degraded(True)
+        c.start_measurement()
+        for i in range(3):
+            assert c.offer(binfo(i)) is None
+        assert c.offer(binfo(3)) is not None
+
+
+class TestRateMonitorCooldown:
+    def _surge(self, m):
+        for _ in range(3):
+            m.observe(1_000.0)
+        for _ in range(3):
+            m.observe(50_000.0)
+
+    def test_post_reset_spike_cannot_retrigger_during_cooldown(self):
+        m = RateMonitor(threshold=0.25, window=6, min_samples=2, cooldown=8)
+        self._surge(m)
+        assert m.need_reset()
+        m.acknowledge_reset()
+        assert m.in_cooldown
+        # The post-fault spike is still in the incoming rate stream; the
+        # cooldown must absorb it instead of resetting every round.
+        self._surge(m)
+        assert not m.need_reset()
+        assert m.resets_triggered == 1
+
+    def test_retriggers_after_cooldown_expires(self):
+        m = RateMonitor(threshold=0.25, window=6, min_samples=2, cooldown=4)
+        self._surge(m)
+        m.acknowledge_reset()
+        self._surge(m)  # 6 observations: cooldown of 4 fully elapsed
+        assert not m.in_cooldown
+        assert m.need_reset()
+
+    def test_zero_cooldown_is_legacy_behavior(self):
+        m = RateMonitor(threshold=0.25, window=6, min_samples=2, cooldown=0)
+        self._surge(m)
+        m.acknowledge_reset()
+        self._surge(m)
+        assert m.need_reset()
+
+    def test_negative_cooldown_rejected(self):
+        with pytest.raises(ValueError):
+            RateMonitor(cooldown=-1)

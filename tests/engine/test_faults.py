@@ -40,6 +40,35 @@ class TestFaultModel:
         with pytest.raises(ValueError):
             FaultModel(**kwargs)
 
+    def test_certain_failure_rejected(self):
+        # Docstring range is [0, 1): prob 1.0 means no retry could ever
+        # succeed, so no task would ever complete.
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            FaultModel(task_failure_prob=1.0)
+        FaultModel(task_failure_prob=0.999)  # just inside the range
+
+    def test_runaway_retry_waste_rejected(self):
+        # (max_attempts - 1) * max_waste_fraction bounds the worst-case
+        # wasted work per task; an unbounded combination turns a single
+        # task into an effective hang.
+        with pytest.raises(ValueError, match="worst-case"):
+            FaultModel(task_failure_prob=0.1, max_attempts=20,
+                       max_waste_fraction=0.9)
+        # The Spark-default envelope (4 attempts, 0.9 waste) stays legal.
+        FaultModel(task_failure_prob=0.1, max_attempts=4,
+                   max_waste_fraction=0.9)
+
+    def test_with_prob_copies_envelope(self):
+        base = FaultModel(task_failure_prob=0.0, max_attempts=3,
+                          min_waste_fraction=0.2, max_waste_fraction=0.5)
+        hot = base.with_prob(0.25)
+        assert hot.task_failure_prob == 0.25
+        assert hot.enabled and not base.enabled
+        assert (hot.max_attempts, hot.min_waste_fraction,
+                hot.max_waste_fraction) == (3, 0.2, 0.5)
+        with pytest.raises(ValueError):
+            base.with_prob(1.0)  # validation still applies to copies
+
 
 class TestRetryScheduling:
     def test_failures_inflate_makespan(self, rng):
