@@ -51,14 +51,16 @@ def test_backpressure_comparison(benchmark):
     report, nostop, bp, default = run_once(benchmark, compare)
     emit(
         format_table(
-            ["approach", "e2e delay (s)", "proc time (s)", "throttled frac"],
+            ["approach", "e2e delay (s)", "p95 delay (s)", "proc time (s)",
+             "throttled frac"],
             [
                 ("NoStop (tuned)", nostop.mean_end_to_end_delay,
-                 nostop.mean_processing_time, 0.0),
+                 nostop.p95_end_to_end_delay, nostop.mean_processing_time, 0.0),
                 ("Back Pressure (default cfg)", bp.mean_end_to_end_delay,
-                 bp.mean_processing_time, bp.throttled_fraction),
+                 "-", bp.mean_processing_time, bp.throttled_fraction),
                 ("Default (untuned)", default.mean_end_to_end_delay,
-                 default.mean_processing_time, 0.0),
+                 default.p95_end_to_end_delay, default.mean_processing_time,
+                 0.0),
             ],
             title=f"NoStop vs Back Pressure ({WORKLOAD})",
         )

@@ -52,9 +52,13 @@ def main() -> None:
     )
     tuned_run = run_fixed_configuration(tuned.context, batches=30)
     default_run = run_fixed_configuration(default.context, batches=30)
-    print(f"\nsteady-state end-to-end delay:")
-    print(f"  NoStop : {tuned_run.mean_end_to_end_delay:6.2f} s")
-    print(f"  default: {default_run.mean_end_to_end_delay:6.2f} s")
+    print(f"\nsteady-state end-to-end delay (mean / p95 / p99):")
+    print(f"  NoStop : {tuned_run.mean_end_to_end_delay:6.2f} s / "
+          f"{tuned_run.p95_end_to_end_delay:6.2f} s / "
+          f"{tuned_run.p99_end_to_end_delay:6.2f} s")
+    print(f"  default: {default_run.mean_end_to_end_delay:6.2f} s / "
+          f"{default_run.p95_end_to_end_delay:6.2f} s / "
+          f"{default_run.p99_end_to_end_delay:6.2f} s")
     print(f"  -> {default_run.mean_end_to_end_delay / tuned_run.mean_end_to_end_delay:.1f}x faster")
 
 

@@ -17,8 +17,10 @@ back-pressure baselines the recovery benchmark compares against.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
+from repro.obs.span import Span
 from repro.streaming.metrics import BatchInfo
 
 
@@ -91,3 +93,66 @@ def poisoned_step_fraction(avoided: int, taken: int) -> float:
     """Share of corrupted SPSA rounds the guard caught."""
     total = avoided + taken
     return avoided / total if total else 0.0
+
+
+# -- joining chaos events to batch traces ------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultTraceJoin:
+    """One chaos event located in the trace stream.
+
+    ``event_id`` is the :class:`~repro.chaos.engine.EventRecord` sequence
+    number the engine stamped on the ``chaos.inject`` span event, so a
+    ChaosReport row, an MTTR number, and the exact batch trace that
+    absorbed the fault all share one key.
+    """
+
+    event_id: int
+    name: str
+    kind: str
+    fired_at: float
+    trace_id: str
+    """Trace of the batch being formed when the fault fired."""
+    recover_trace_id: Optional[str] = None
+    """Trace carrying the matching ``chaos.recover`` event, if any."""
+
+
+def join_faults_to_traces(spans: Sequence[Span]) -> List[FaultTraceJoin]:
+    """Map every ``chaos.inject`` span event to its batch trace.
+
+    Scans root spans for chaos events (the engine attaches them to the
+    batch span current at the boundary where the fault fired) and pairs
+    injections with their recoveries by event id.  Returns joins in
+    event-id order, so ``joins[i]`` lines up with
+    ``ChaosEngine.records[i]``.
+    """
+    injected: Dict[int, FaultTraceJoin] = {}
+    recovered: Dict[int, str] = {}
+    for span in spans:
+        for ev in span.events:
+            eid = ev.attributes.get("event_id")
+            if eid is None:
+                continue
+            eid = int(eid)
+            if ev.name == "chaos.inject":
+                injected[eid] = FaultTraceJoin(
+                    event_id=eid,
+                    name=str(ev.attributes.get("fault", "")),
+                    kind=str(ev.attributes.get("kind", "")),
+                    fired_at=ev.time,
+                    trace_id=span.trace_id,
+                )
+            elif ev.name == "chaos.recover":
+                recovered[eid] = span.trace_id
+    joins = []
+    for eid in sorted(injected):
+        j = injected[eid]
+        if eid in recovered:
+            j = FaultTraceJoin(
+                event_id=j.event_id, name=j.name, kind=j.kind,
+                fired_at=j.fired_at, trace_id=j.trace_id,
+                recover_trace_id=recovered[eid],
+            )
+        joins.append(j)
+    return joins

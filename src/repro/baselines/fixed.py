@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.streaming.context import StreamingConfig, StreamingContext
-from repro.streaming.metrics import BatchInfo
+from repro.streaming.metrics import BatchInfo, percentiles
 
 #: Untuned stand-in configuration (documented in DESIGN.md): mid-range
 #: interval from the paper's [1, 40] s space, 10 executors.
@@ -30,6 +30,11 @@ class FixedRunResult:
     mean_processing_time: float
     mean_scheduling_delay: float
     unstable_fraction: float
+    p50_end_to_end_delay: float = 0.0
+    p95_end_to_end_delay: float = 0.0
+    p99_end_to_end_delay: float = 0.0
+    """Delay tail: an untuned configuration can look fine on the mean
+    while its p99 drowns (queue oscillation) — the paper's motivation."""
 
 
 def run_fixed_configuration(
@@ -58,6 +63,7 @@ def run_fixed_configuration(
     n = len(used)
     if n == 0:
         raise RuntimeError("no batches completed; configuration pathological")
+    p50, p95, p99 = percentiles([b.end_to_end_delay for b in used])
     return FixedRunResult(
         config=context.config,
         batches=n,
@@ -65,4 +71,7 @@ def run_fixed_configuration(
         mean_processing_time=sum(b.processing_time for b in used) / n,
         mean_scheduling_delay=sum(b.scheduling_delay for b in used) / n,
         unstable_fraction=sum(1 for b in used if not b.stable) / n,
+        p50_end_to_end_delay=p50,
+        p95_end_to_end_delay=p95,
+        p99_end_to_end_delay=p99,
     )

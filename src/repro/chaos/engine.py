@@ -32,6 +32,9 @@ class EventRecord:
     detail: str
     recover_due: Optional[float] = None
     recovered_at: Optional[float] = None
+    event_id: int = 0
+    """Engine-wide firing sequence number; the same id is stamped on the
+    ``chaos.inject`` span event, so traces and ChaosReport rows join."""
 
     @property
     def active_at(self) -> bool:
@@ -39,6 +42,7 @@ class EventRecord:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "eventId": self.event_id,
             "name": self.name,
             "kind": self.kind,
             "firedAt": self.fired_at,
@@ -86,6 +90,17 @@ class ChaosEngine:
         self._active: List[_ActiveFault] = []
         #: Complete firing log, in firing order.
         self.records: List[EventRecord] = []
+        self.telemetry = context.telemetry
+        registry = self.telemetry.metrics
+        self._m_injections = registry.counter(
+            "repro_chaos_injections_total", "Fault events fired"
+        )
+        self._m_recoveries = registry.counter(
+            "repro_chaos_recoveries_total", "Fault events recovered"
+        )
+        self._m_active = registry.gauge(
+            "repro_chaos_active_faults", "Faults injected but not yet recovered"
+        )
         context.add_boundary_hook(self.on_boundary)
 
     # -- state ---------------------------------------------------------------
@@ -143,6 +158,7 @@ class ChaosEngine:
             kind=event.injector.kind,
             fired_at=fire_time,
             detail=detail,
+            event_id=len(self.records) + 1,
         )
         if event.duration is not None:
             record.recover_due = fire_time + event.duration
@@ -151,6 +167,16 @@ class ChaosEngine:
                              recover_at=fire_time + event.duration)
             )
         self.records.append(record)
+        self._m_injections.inc()
+        self._m_active.set(len(self._active))
+        # Fault firings become span events on the batch being formed, so
+        # a trace shows exactly which batch absorbed which fault and
+        # analysis can join MTTR numbers to traces by event id.
+        self.context.current_batch_span.add_event(
+            "chaos.inject", fire_time,
+            event_id=record.event_id, fault=record.name,
+            kind=record.kind, detail=record.detail,
+        )
 
     def _recover_due(self, boundary: float) -> None:
         still: List[_ActiveFault] = []
@@ -158,9 +184,15 @@ class ChaosEngine:
             if af.recover_at <= boundary:
                 af.event.injector.recover(self.context, boundary)
                 af.record.recovered_at = boundary
+                self._m_recoveries.inc()
+                self.context.current_batch_span.add_event(
+                    "chaos.recover", boundary,
+                    event_id=af.record.event_id, fault=af.record.name,
+                )
             else:
                 still.append(af)
         self._active = still
+        self._m_active.set(len(self._active))
 
     def finish(self, now: Optional[float] = None) -> None:
         """Recover every still-active fault (end of scenario)."""

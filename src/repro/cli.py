@@ -4,6 +4,11 @@ Run ``python -m repro <command>``:
 
 * ``run``       — NoStop on one workload, with a per-round trajectory and
                   an optional JSON trace dump;
+* ``trace``     — NoStop run with batch-lifecycle tracing on: prints a
+                  span timeline, optionally dumps spans / the SPSA audit
+                  trail as JSONL;
+* ``metrics``   — NoStop run with metrics on: prints a Prometheus
+                  text-exposition snapshot or a human-readable summary;
 * ``figure``    — regenerate one paper figure/table (fig2 fig3 fig5 fig6
                   fig7 fig8 table2);
 * ``compare``   — SPSA vs BO vs annealing vs random search on one workload;
@@ -75,6 +80,61 @@ def _cmd_run(args) -> int:
         trace.add_series("phase", [r.phase for r in report.rounds])
         path = trace.save(args.trace_out)
         print(f"trace written to {path}")
+    return 0
+
+
+def _run_with_telemetry(args, task_detail: bool = False):
+    """Shared setup for ``trace`` / ``metrics``: an instrumented run."""
+    from repro.experiments.common import build_experiment, make_controller
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry(enabled=True, task_detail=task_detail)
+    setup = build_experiment(args.workload, seed=args.seed,
+                             telemetry=telemetry)
+    controller = make_controller(setup, seed=args.seed)
+    controller.run(args.rounds)
+    return telemetry, setup, controller
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import render_timeline, save_spans
+
+    telemetry, setup, controller = _run_with_telemetry(
+        args, task_detail=args.tasks
+    )
+    spans = telemetry.tracer.spans
+    print(render_timeline(spans, last_n_traces=args.last))
+    n_traces = len(telemetry.tracer.trace_ids())
+    print(f"\n{len(spans)} spans across {n_traces} batch traces "
+          f"({telemetry.tracer.dropped_spans} dropped); "
+          f"audit: {len(telemetry.audit)} decisions, "
+          f"{len(telemetry.audit.firings)} rule firings")
+    if args.out:
+        print(f"spans written to {save_spans(spans, args.out)}")
+    if args.audit_out:
+        print(f"audit trail written to {telemetry.audit.save(args.audit_out)}")
+    mismatches = telemetry.audit.replay(box=setup.scaler.scaled)
+    if mismatches:
+        print(f"AUDIT REPLAY FAILED: {len(mismatches)} mismatches",
+              file=sys.stderr)
+        return 1
+    print("audit replay: all recorded steps match the optimizer arithmetic")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import prometheus_text, render_metrics_summary
+
+    telemetry, _, _ = _run_with_telemetry(args)
+    if args.format == "prom":
+        text = prometheus_text(telemetry.metrics)
+    else:
+        text = render_metrics_summary(telemetry.metrics)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\nsnapshot written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -194,6 +254,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None,
                    help="write the run trajectory as JSON")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("trace", help="NoStop run with batch tracing on")
+    p.add_argument("--workload", default="wordcount", choices=sorted(WORKLOADS))
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--last", type=int, default=3,
+                   help="how many trailing batch traces to print")
+    p.add_argument("--tasks", action="store_true",
+                   help="emit per-task spans too (verbose)")
+    p.add_argument("--out", default=None, help="write all spans as JSONL")
+    p.add_argument("--audit-out", default=None,
+                   help="write the SPSA audit trail as JSONL")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("metrics", help="NoStop run with metrics snapshot")
+    p.add_argument("--workload", default="wordcount", choices=sorted(WORKLOADS))
+    p.add_argument("--rounds", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--format", choices=["prom", "summary"], default="summary")
+    p.add_argument("--out", default=None, help="also write the snapshot here")
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("figure", help="regenerate one paper figure/table")
     p.add_argument("name", help="table2 | fig2 | fig3 | fig5 | fig6 | fig7 | fig8")

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
+
 from .cluster import Cluster
 from .executor import (
     DEFAULT_EXECUTOR_CORES,
@@ -56,6 +58,21 @@ class ResourceManager:
         self.reconfigurations = 0
         #: unplanned executor losses injected via :meth:`fail_executor`
         self.executor_failures = 0
+        self.instrument(NOOP_REGISTRY)
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Bind telemetry instruments (no-op registry by default)."""
+        self._m_executors = registry.gauge(
+            "repro_cluster_executors", "Live executors in the pool"
+        )
+        self._m_scale_ops = registry.counter(
+            "repro_cluster_scale_ops_total",
+            "Executor-count reconfigurations performed",
+        )
+        self._m_failures = registry.counter(
+            "repro_cluster_executor_failures_total",
+            "Unplanned executor losses (crash injection)",
+        )
 
     # -- queries --------------------------------------------------------
 
@@ -167,6 +184,8 @@ class ResourceManager:
             executor_id = max(self._executors)  # newest dies first
         self.remove_executor(executor_id)
         self.executor_failures += 1
+        self._m_failures.inc()
+        self._m_executors.set(self.executor_count)
         return executor_id
 
     def scale_to(self, target: int, now: float = 0.0) -> int:
@@ -207,4 +226,6 @@ class ResourceManager:
                 self.remove_executor(v.executor_id)
         if delta != 0:
             self.reconfigurations += 1
+            self._m_scale_ops.inc()
+        self._m_executors.set(self.executor_count)
         return delta

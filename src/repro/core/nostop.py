@@ -26,6 +26,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.audit import SPSADecision, clipped_axes
+from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
+
 from .adjust import AdjustFunction, AdjustResult, ControlledSystem
 from .bounds import MinMaxScaler
 from .gains import GainSchedule, paper_gains
@@ -132,6 +135,7 @@ class NoStopController:
         seed: int = 0,
         stability_slack: float = 1.05,
         harden: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.system = system
         self.scaler = scaler
@@ -164,6 +168,20 @@ class NoStopController:
         self.poisoned_steps_taken = 0
         self.corrupted_retries = 0
 
+        self.telemetry = telemetry or NOOP_TELEMETRY
+        self.audit = self.telemetry.audit
+        registry = self.telemetry.metrics
+        self._m_rounds = registry.counter(
+            "repro_nostop_rounds_total", "Control rounds executed"
+        )
+        self._m_guarded = registry.counter(
+            "repro_nostop_guarded_rounds_total",
+            "Rounds whose SPSA update was skipped over a corrupted probe",
+        )
+        self._m_resets = registry.counter(
+            "repro_nostop_resets_total", "§5.5 restarts triggered"
+        )
+
         self.paused = False
         self._rounds_run = 0
         self._start_time = system.time
@@ -188,6 +206,66 @@ class NoStopController:
             evaluate_config(result, theta, self.spsa.k, rho_cap=self.rho.cap)
         )
 
+    def _record_decision(
+        self,
+        theta_before: np.ndarray,
+        theta_plus: np.ndarray,
+        theta_minus: np.ndarray,
+        delta: np.ndarray,
+        c_k: float,
+        plus: AdjustResult,
+        minus: AdjustResult,
+        guarded: bool,
+    ) -> None:
+        """Explain this round's SPSA arithmetic in the audit trail."""
+        if not self.audit.enabled:
+            return
+        probe_clipped = tuple(
+            p or m
+            for p, m in zip(
+                clipped_axes(theta_before + c_k * delta, theta_plus),
+                clipped_axes(theta_before - c_k * delta, theta_minus),
+            )
+        )
+        if guarded:
+            # No optimizer step was taken, so record the gain that *would*
+            # have scaled it and leave the gradient unset.
+            a_k = self.spsa.gains.a_k(self.spsa.k + 1)
+            gradient = None
+            theta_next = tuple(float(v) for v in theta_before)
+            step_clipped = tuple(False for _ in theta_before)
+        else:
+            it = self.spsa.history[-1]
+            a_k = it.a_k
+            gradient = tuple(float(v) for v in it.gradient)
+            theta_next = tuple(float(v) for v in it.theta_next)
+            step_clipped = clipped_axes(
+                theta_before - a_k * it.gradient, it.theta_next
+            )
+        self.audit.record_decision(
+            SPSADecision(
+                round_index=self._rounds_run,
+                k=self.spsa.k,
+                sim_time=self.system.time,
+                rho=self.rho.value,
+                a_k=float(a_k),
+                c_k=float(c_k),
+                theta=tuple(float(v) for v in theta_before),
+                delta=tuple(float(v) for v in delta),
+                theta_plus=tuple(float(v) for v in theta_plus),
+                theta_minus=tuple(float(v) for v in theta_minus),
+                probe_clipped=probe_clipped,
+                y_plus=float(plus.objective),
+                y_minus=float(minus.objective),
+                gradient=gradient,
+                theta_next=theta_next,
+                step_clipped=step_clipped,
+                guarded=guarded,
+                plus_corrupted=plus.corrupted,
+                minus_corrupted=minus.corrupted,
+            )
+        )
+
     def _do_reset(self) -> RoundRecord:
         """§5.5 restart: reset k, x, ρ, pause history, and window."""
         self.spsa.reset()
@@ -197,6 +275,11 @@ class NoStopController:
         self.rate_monitor.acknowledge_reset()
         self.paused = False
         self.report.resets += 1
+        self._m_resets.inc()
+        self.audit.record_firing(
+            "reset", self._rounds_run, self.system.time,
+            detail="input-rate drift exceeded the §5.5 threshold",
+        )
         interval, executors = self._current_configuration()
         return RoundRecord(
             round_index=self._rounds_run,
@@ -214,6 +297,7 @@ class NoStopController:
     def run_round(self) -> RoundRecord:
         """Execute one control round and return its record."""
         self._rounds_run += 1
+        self._m_rounds.inc()
         if self.rate_monitor.need_reset():
             record = self._do_reset()
         elif self.paused:
@@ -239,6 +323,7 @@ class NoStopController:
         return result
 
     def _optimize_round(self) -> RoundRecord:
+        theta_before = self.spsa.theta.copy()
         theta_plus, theta_minus, delta, c_k = self.spsa.propose()
         plus = self._probe(theta_plus)
         minus = self._probe(theta_minus)
@@ -251,6 +336,7 @@ class NoStopController:
             # current estimate — and let the next round re-probe.
             guarded = True
             self.poisoned_steps_avoided += 1
+            self._m_guarded.inc()
         else:
             if corrupted:
                 self.poisoned_steps_taken += 1
@@ -258,6 +344,10 @@ class NoStopController:
                 theta_plus, theta_minus, delta, c_k,
                 plus.objective, minus.objective,
             )
+        self._record_decision(
+            theta_before, theta_plus, theta_minus, delta, c_k,
+            plus, minus, guarded,
+        )
         # Corrupted probes never enter the ranking history either: a
         # lucky-looking objective measured under a failed apply would
         # park the system at a configuration that was never tested.
@@ -295,6 +385,13 @@ class NoStopController:
         self.system.apply_configuration(
             config[0], config[1],
             partitions=config[2] if len(config) > 2 else None,
+        )
+        self.audit.record_firing(
+            "pause", self._rounds_run, self.system.time,
+            detail=(
+                f"impeded progress; parked at interval={config[0]:g}, "
+                f"executors={config[1]}"
+            ),
         )
         if self.report.first_pause_round is None:
             self.report.first_pause_round = self._rounds_run
@@ -356,6 +453,14 @@ class NoStopController:
         if measurement.mean_processing_time > interval * self.stability_slack:
             self.paused = False
             self.collector.reset_window()
+            self.audit.record_firing(
+                "resume", self._rounds_run, self.system.time,
+                detail=(
+                    f"instability at the parked optimum: processing "
+                    f"{measurement.mean_processing_time:.3f}s > "
+                    f"interval {interval:g}s x slack {self.stability_slack:g}"
+                ),
+            )
         return RoundRecord(
             round_index=self._rounds_run,
             k=self.spsa.k,

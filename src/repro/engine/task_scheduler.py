@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.cluster.executor import Executor
+from repro.obs.span import Span, TraceContext
+from repro.obs.tracer import Tracer
 
 from .faults import NO_FAULTS, FaultModel
 from .job import BatchJob
@@ -114,16 +116,26 @@ class TaskScheduler:
         executors: Sequence[Executor],
         start_time: float,
         rng: np.random.Generator,
+        tracer: Optional[Tracer] = None,
+        parent: Optional[TraceContext] = None,
     ) -> JobRun:
         """Execute ``job`` on ``executors`` starting at ``start_time``.
 
         Returns a :class:`JobRun`; ``run.processing_time`` is the batch
         processing time reported to the streaming listener.
+
+        With ``tracer`` and ``parent`` supplied, the run emits
+        ``schedule`` / ``execute`` spans under the batch trace.  The
+        spans tile ``[start_time, finish]`` exactly — driver-side setup
+        and coordination land in ``schedule`` spans, task makespans in
+        ``execute`` spans — so their durations sum to the batch
+        processing time.
         """
         if not executors:
             raise NoExecutorsError(
                 f"job {job.job_id} submitted with no executors registered"
             )
+        traced = tracer is not None and tracer.enabled and parent is not None
         run = JobRun(
             job_id=job.job_id,
             start=start_time,
@@ -140,15 +152,37 @@ class TaskScheduler:
                 seq += 1
         heapq.heapify(slots)
         coord = self.overhead.coordination_cost(len(executors))
+        if traced:
+            setup = tracer.start_span(
+                "schedule", parent, start_time, phase="job_setup"
+            )
+            setup.finish(clock)
 
         for stage in job.stages:
             stage_start = clock
-            for _ in range(stage.iterations):
+            for iteration in range(stage.iterations):
                 # Driver-side serial costs per stage execution.
+                sched_start = clock
                 clock += self.overhead.stage_setup + coord
+                exec_span: Optional[Span] = None
+                if traced:
+                    sched = tracer.start_span(
+                        "schedule", parent, sched_start,
+                        stage=stage.stage_id, iteration=iteration,
+                    )
+                    sched.finish(clock)
+                    exec_span = tracer.start_span(
+                        "execute", parent, clock,
+                        stage=stage.stage_id, iteration=iteration,
+                        tasks=stage.num_tasks,
+                    )
                 clock = self._run_task_set(
-                    stage.tasks, slots, clock, rng, run
+                    stage.tasks, slots, clock, rng, run,
+                    tracer=tracer if traced else None,
+                    exec_span=exec_span,
                 )
+                if exec_span is not None:
+                    exec_span.finish(clock)
             run.stage_runs.append(
                 StageRun(
                     stage_id=stage.stage_id,
@@ -169,10 +203,15 @@ class TaskScheduler:
         barrier: float,
         rng: np.random.Generator,
         run: JobRun,
+        tracer: Optional[Tracer] = None,
+        exec_span: Optional[Span] = None,
     ) -> float:
         """Schedule one iteration of a stage's tasks; return the new barrier."""
         if not tasks:
             return barrier
+        task_spans = (
+            tracer is not None and tracer.task_detail and exec_span is not None
+        )
         # LPT order: longest tasks first minimizes makespan for list
         # scheduling and mirrors Spark's preference for large pending tasks.
         order = sorted(tasks, key=lambda t: t.compute_cost + t.io_cost, reverse=True)
@@ -203,6 +242,11 @@ class TaskScheduler:
                     heapq.heappush(slots, (start + waste, seq, ex))
                     seq += 1
                     run.task_failures += 1
+                    if exec_span is not None:
+                        exec_span.add_event(
+                            "task.retry", start + waste,
+                            executor=ex.executor_id, attempt=attempts,
+                        )
                     continue
                 if attempts == self.faults.max_attempts and attempts > 1:
                     # The final allowed attempt always succeeds here; a
@@ -212,6 +256,12 @@ class TaskScheduler:
                 finish_max = max(finish_max, finish)
                 heapq.heappush(slots, (finish, seq, ex))
                 seq += 1
+                if task_spans:
+                    tspan = tracer.start_span(
+                        "task", exec_span, start,
+                        executor=ex.executor_id, attempts=attempts,
+                    )
+                    tspan.finish(finish)
                 if self.record_tasks:
                     run.task_runs.append(
                         TaskRun(

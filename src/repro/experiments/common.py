@@ -9,6 +9,7 @@ Fig. 5 rate band.  :func:`build_experiment` assembles that stack;
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -25,6 +26,7 @@ from repro.datagen.rates import RateTrace, paper_rate_trace
 from repro.engine.overhead import DEFAULT_OVERHEAD, OverheadModel
 from repro.engine.task_scheduler import NoiseModel
 from repro.kafka.cluster import KafkaCluster, paper_kafka_cluster
+from repro.obs.tracer import Telemetry
 from repro.streaming.context import StreamingConfig, StreamingContext
 from repro.workloads import make_workload
 from repro.workloads.base import Workload
@@ -41,6 +43,7 @@ class ExperimentSetup:
     context: StreamingContext
     system: SimulatedSparkSystem
     scaler: MinMaxScaler
+    telemetry: Optional[Telemetry] = None
 
 
 def build_experiment(
@@ -56,6 +59,7 @@ def build_experiment(
     max_interval: float = 40.0,
     queue_max_length: int = 25,
     cluster: Optional[Cluster] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentSetup:
     """Assemble the paper's deployment for one workload.
 
@@ -68,7 +72,17 @@ def build_experiment(
     of §1) instead of accumulating unbounded backlog — without a bound,
     a few unstable probes early in an optimization run would poison the
     rest of the experiment with queue drain.
+
+    ``telemetry`` attaches a tracing/metrics/audit bundle to the whole
+    stack.  When left ``None`` and ``REPRO_TRACE`` (or
+    ``REPRO_FORCE_TRACE``) is set in the environment, an enabled bundle
+    is created automatically — the CI hook for running the full test
+    suite with tracing on.
     """
+    if telemetry is None and (
+        os.environ.get("REPRO_TRACE") or os.environ.get("REPRO_FORCE_TRACE")
+    ):
+        telemetry = Telemetry(enabled=True)
     cluster = cluster or paper_cluster()
     kafka = paper_kafka_cluster(cluster.total_cores)
     workload = make_workload(workload_name)
@@ -90,6 +104,7 @@ def build_experiment(
         overhead=overhead,
         noise=NoiseModel(sigma=noise_sigma),
         queue_max_length=queue_max_length,
+        telemetry=telemetry,
     )
     system = SimulatedSparkSystem(context)
     scaler = paper_configuration_space(
@@ -103,6 +118,7 @@ def build_experiment(
         context=context,
         system=system,
         scaler=scaler,
+        telemetry=telemetry,
     )
 
 
@@ -115,7 +131,11 @@ def make_controller(
     collector_window: int = 3,
     rate_threshold: float = 0.25,
 ) -> NoStopController:
-    """NoStop controller with the paper's §6.2.1 settings."""
+    """NoStop controller with the paper's §6.2.1 settings.
+
+    Inherits the setup's telemetry bundle, so the controller's audit
+    trail lands next to the substrate's traces and metrics.
+    """
     return NoStopController(
         system=setup.system,
         scaler=setup.scaler,
@@ -124,6 +144,7 @@ def make_controller(
         rate_monitor=RateMonitor(threshold=rate_threshold),
         collector=MetricsCollector(window=collector_window),
         seed=seed,
+        telemetry=setup.telemetry,
     )
 
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
+
 from .topic import Topic
 
 
@@ -51,6 +53,21 @@ class DirectStreamConsumer:
         self.topic = topic
         self._committed: List[int] = [0] * topic.num_partitions
         self.total_consumed = 0
+        self.instrument(NOOP_REGISTRY)
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Bind telemetry instruments (no-op registry by default)."""
+        self._m_consumed = registry.counter(
+            "repro_kafka_records_consumed_total",
+            "Records pulled from the topic by the direct-stream consumer",
+        )
+        self._m_polls = registry.counter(
+            "repro_kafka_consumer_polls_total", "Offset-range poll calls"
+        )
+        self._m_lag = registry.gauge(
+            "repro_kafka_consumer_lag_records",
+            "Records appended but not yet consumed",
+        )
 
     @property
     def committed_offsets(self) -> List[int]:
@@ -78,6 +95,9 @@ class DirectStreamConsumer:
             self._committed[p.partition_id] = end
         batch = ConsumedBatch(batch_time=batch_time, ranges=ranges)
         self.total_consumed += batch.total_records
+        self._m_polls.inc()
+        self._m_consumed.inc(batch.total_records)
+        self._m_lag.set(self.lag())
         return batch
 
     def mean_arrival_time(self, batch: ConsumedBatch) -> float:

@@ -17,6 +17,7 @@ import math
 from typing import Optional
 
 from repro.datagen.rates import RateTrace
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
 
 from .topic import Topic
 
@@ -43,6 +44,18 @@ class RateControlledProducer:
         self._produced_until = 0.0
         self.total_produced = 0
         self.total_throttled = 0
+        self.instrument(NOOP_REGISTRY)
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Bind telemetry instruments (no-op registry by default)."""
+        self._m_produced = registry.counter(
+            "repro_kafka_records_produced_total",
+            "Records appended to the topic by the rate-controlled producer",
+        )
+        self._m_throttled = registry.counter(
+            "repro_kafka_records_throttled_total",
+            "Records dropped by the producer-side rate cap",
+        )
 
     @property
     def produced_until(self) -> float:
@@ -90,9 +103,12 @@ class RateControlledProducer:
                 allowed = int(math.floor(self.rate_cap * (t1 - t0)))
                 if want > allowed:
                     self.total_throttled += want - allowed
+                    self._m_throttled.inc(want - allowed)
                     want = allowed
             self.topic.append_uniform(t0, t1, want)
             produced += want
             self._produced_until = t1
         self.total_produced += produced
+        if produced:
+            self._m_produced.inc(produced)
         return produced

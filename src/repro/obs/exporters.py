@@ -1,0 +1,217 @@
+"""Telemetry exporters: JSONL traces, Prometheus text, CLI renderings.
+
+Three consumption paths for the same data:
+
+* **JSONL** — one span per line, sorted keys, floats via ``repr``; the
+  machine-readable archive format (``repro trace --out``) with an exact
+  parse round-trip (:func:`parse_jsonl_spans`);
+* **Prometheus text exposition** — a point-in-time snapshot of the
+  metrics registry in the v0.0.4 text format, scrapeable as-is;
+* **human renderings** — an indented per-trace timeline and a metrics
+  summary table for terminal use.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .span import Span
+
+# -- JSONL trace export ------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """One JSON object per line, in span-creation order."""
+    return "\n".join(
+        json.dumps(s.to_dict(), sort_keys=True) for s in spans
+    )
+
+
+def parse_jsonl_spans(text: str) -> List[Span]:
+    """Parse :func:`spans_to_jsonl` output back into spans."""
+    spans: List[Span] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(Span.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed span on line {i}: {exc}") from exc
+    return spans
+
+
+def save_spans(spans: Iterable[Span], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(spans_to_jsonl(spans) + "\n")
+    return path
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: integers without a trailing .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in Prometheus text exposition format v0.0.4."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        name = metric.name  # type: ignore[attr-defined]
+        help_text = metric.help or name  # type: ignore[attr-defined]
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {metric.kind}")  # type: ignore[attr-defined]
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative_counts()
+            for bound, count in zip(metric.bounds, cumulative):
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {count}'
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+        elif isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{name} {_fmt(metric.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^[a-z_:][a-z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})? "
+    r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
+)
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Structural validity check on an exposition snapshot.
+
+    Returns a list of problems (empty = valid): malformed sample lines,
+    samples with no preceding ``# TYPE``, non-monotone histogram buckets,
+    and ``_count`` disagreeing with the ``+Inf`` bucket.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    buckets: Dict[str, List[float]] = {}
+    inf_bucket: Dict[str, float] = {}
+    counts: Dict[str, float] = {}
+
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(f"line {i}: malformed TYPE line")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {i}: unknown comment directive")
+            continue
+        if not _SAMPLE_RE.match(line):
+            problems.append(f"line {i}: malformed sample line: {line!r}")
+            continue
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            problems.append(f"line {i}: sample {name!r} has no TYPE")
+        value = float(line.rsplit(" ", 1)[1])
+        if name.endswith("_bucket"):
+            le_match = re.search(r'le="([^"]+)"', line)
+            if le_match is None:
+                problems.append(f"line {i}: histogram bucket missing le label")
+                continue
+            le = le_match.group(1)
+            if le == "+Inf":
+                inf_bucket[base] = value
+            else:
+                buckets.setdefault(base, []).append(value)
+        elif name.endswith("_count") and typed.get(base) == "histogram":
+            counts[base] = value
+
+    for base, series in buckets.items():
+        if any(b > a for a, b in zip(series[1:], series)):
+            problems.append(f"{base}: bucket counts not monotone")
+        if base in inf_bucket and series and series[-1] > inf_bucket[base]:
+            problems.append(f"{base}: +Inf bucket below last finite bucket")
+    for base, n in counts.items():
+        if base in inf_bucket and n != inf_bucket[base]:
+            problems.append(
+                f"{base}: _count {n} disagrees with +Inf bucket {inf_bucket[base]}"
+            )
+    return problems
+
+
+# -- human renderings --------------------------------------------------------
+
+
+def _render_span(
+    span: Span,
+    children_index: Dict[Optional[int], List[Span]],
+    depth: int,
+    lines: List[str],
+) -> None:
+    pad = "  " * depth
+    end = "…" if span.end is None else f"{span.end:.3f}"
+    lines.append(
+        f"{pad}{span.name}  [{span.start:.3f} → {end}]"
+        f"  ({span.duration:.3f}s)"
+        + (f"  {span.attributes}" if span.attributes else "")
+    )
+    for ev in span.events:
+        lines.append(f"{pad}  • {ev.name} @ {ev.time:.3f}  {ev.attributes}")
+    for child in children_index.get(span.span_id, []):
+        _render_span(child, children_index, depth + 1, lines)
+
+
+def render_timeline(
+    spans: Sequence[Span], last_n_traces: Optional[int] = None
+) -> str:
+    """Indented per-trace tree with durations and span events."""
+    by_trace: Dict[str, List[Span]] = {}
+    order: List[str] = []
+    for s in spans:
+        if s.trace_id not in by_trace:
+            order.append(s.trace_id)
+        by_trace.setdefault(s.trace_id, []).append(s)
+    if last_n_traces is not None:
+        order = order[-last_n_traces:]
+    lines: List[str] = []
+    for trace_id in order:
+        trace_spans = by_trace[trace_id]
+        children: Dict[Optional[int], List[Span]] = {}
+        for s in trace_spans:
+            children.setdefault(s.parent_id, []).append(s)
+        lines.append(f"trace {trace_id}")
+        for root in children.get(None, []):
+            _render_span(root, children, 1, lines)
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
+def render_metrics_summary(registry: MetricsRegistry) -> str:
+    """Terminal-friendly one-line-per-metric summary."""
+    lines: List[str] = []
+    for metric in registry.collect():
+        if isinstance(metric, Histogram):
+            p50 = metric.quantile(0.50)
+            p95 = metric.quantile(0.95)
+            p99 = metric.quantile(0.99)
+            mean = metric.sum / metric.count if metric.count else 0.0
+            lines.append(
+                f"{metric.name}: n={metric.count} mean={mean:.3f} "
+                f"p50~{p50:.3f} p95~{p95:.3f} p99~{p99:.3f}"
+            )
+        else:
+            lines.append(f"{metric.name}: {_fmt(metric.value)}")  # type: ignore[attr-defined]
+    return "\n".join(lines)

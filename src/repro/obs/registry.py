@@ -1,0 +1,252 @@
+"""Metrics registry: counters, gauges, histograms with fixed buckets.
+
+Naming follows ``repro_<subsystem>_<name>_<unit>`` (DESIGN.md §10), e.g.
+``repro_streaming_processing_seconds``.  The registry enforces the
+character set Prometheus accepts, deduplicates by name (asking twice for
+the same metric returns the same instance), and renders through
+:func:`repro.obs.exporters.prometheus_text`.
+
+Disabled telemetry uses :data:`NOOP_REGISTRY`, whose factory methods hand
+back shared do-nothing instruments — instrumented code holds real
+attribute references either way and pays only an empty method call when
+telemetry is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-z_:][a-z0-9_:]*$")
+
+#: Default latency buckets (seconds), spanning sub-second task phases to
+#: the paper's 40 s maximum batch interval and deep-backlog delays.
+DEFAULT_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 20.0, 40.0, 80.0, 160.0,
+)
+
+#: Default magnitude buckets for record counts per batch.
+DEFAULT_COUNT_BUCKETS: Tuple[float, ...] = (
+    100.0, 1_000.0, 10_000.0, 50_000.0, 100_000.0, 500_000.0,
+    1_000_000.0, 5_000_000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value that can move in either direction."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative histogram over fixed, immutable bucket bounds."""
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name} bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = bounds
+        #: counts[i] observations fell in (bounds[i-1], bounds[i]]; the
+        #: trailing slot is the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Prometheus-style cumulative per-bucket counts (incl. +Inf)."""
+        out: List[int] = []
+        running = 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 when empty).
+
+        Accurate to bucket resolution — good enough for CLI summaries;
+        exact percentiles over raw values live in
+        :func:`repro.streaming.metrics.percentile`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        prev_bound = 0.0
+        for i, c in enumerate(self.bucket_counts):
+            upper = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+            if running + c >= target and c > 0:
+                frac = (target - running) / c
+                return prev_bound + frac * (upper - prev_bound)
+            running += c
+            prev_bound = upper
+        return self.bounds[-1]
+
+
+class _NoopInstrument:
+    """One object impersonating all three instrument kinds, doing nothing."""
+
+    kind = "noop"
+    name = "noop"
+    help = ""
+    value = 0.0
+    sum = 0.0
+    count = 0
+    bounds: Tuple[float, ...] = ()
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> List[int]:
+        return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class MetricsRegistry:
+    """Create-or-get factory and collection point for instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: str, factory):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if not name.startswith("repro_"):
+            raise ValueError(
+                f"metric name {name!r} must follow repro_<subsystem>_<name>_<unit>"
+            )
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.kind != kind:  # type: ignore[attr-defined]
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested {kind}"  # type: ignore[attr-defined]
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._get(name, "histogram", lambda: Histogram(name, help, buckets))
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def collect(self) -> Iterable[object]:
+        """All registered instruments, sorted by name (deterministic)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class _NoopRegistry(MetricsRegistry):
+    """Registry whose factories hand out the shared no-op instrument."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def collect(self) -> Iterable[object]:
+        return []
+
+
+NOOP_REGISTRY = _NoopRegistry()

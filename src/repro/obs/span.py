@@ -1,0 +1,157 @@
+"""Span model for batch-lifecycle tracing.
+
+A *trace* is one micro-batch's journey through the pipeline; a *span* is
+one timed phase of it (Kafka ingest, queue wait, per-stage scheduling,
+task execution).  The model is deliberately minimal — OpenTelemetry-shaped
+but zero-dependency and simulation-native:
+
+* all timestamps are **simulated seconds** supplied by the caller (never
+  the wall clock), so traces are deterministic under a fixed seed;
+* span identity is a per-tracer monotonic counter, not a random id, for
+  the same reason;
+* propagation happens through an explicit :class:`TraceContext` value
+  carried alongside the batch (e.g. on the queued batch), never through
+  globals or thread-locals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagatable identity of a span: enough to parent a child.
+
+    This is the value that travels with a batch through the queue into
+    the engine — components never need the :class:`Span` object itself,
+    only this context plus the tracer they were constructed with.
+    """
+
+    trace_id: str
+    span_id: int
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation on a span (e.g. a chaos fault firing)."""
+
+    name: str
+    time: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "time": self.time, "attrs": self.attributes}
+
+
+@dataclass
+class Span:
+    """One timed phase of a batch's lifecycle."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    events: List[SpanEvent] = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span duration in simulated seconds (0.0 while unfinished)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, time: float, **attributes: object) -> None:
+        self.events.append(SpanEvent(name=name, time=time, attributes=attributes))
+
+    def finish(self, end: float) -> None:
+        if end < self.start - 1e-9:
+            raise ValueError(
+                f"span {self.name!r} cannot end at {end} before start {self.start}"
+            )
+        self.end = end
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "traceId": self.trace_id,
+            "spanId": self.span_id,
+            "parentId": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attributes,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Span":
+        return Span(
+            trace_id=str(payload["traceId"]),
+            span_id=int(payload["spanId"]),  # type: ignore[arg-type]
+            parent_id=(
+                None if payload.get("parentId") is None
+                else int(payload["parentId"])  # type: ignore[arg-type]
+            ),
+            name=str(payload["name"]),
+            start=float(payload["start"]),  # type: ignore[arg-type]
+            end=(
+                None if payload.get("end") is None
+                else float(payload["end"])  # type: ignore[arg-type]
+            ),
+            attributes=dict(payload.get("attrs") or {}),  # type: ignore[arg-type]
+            events=[
+                SpanEvent(
+                    name=str(e["name"]),
+                    time=float(e["time"]),
+                    attributes=dict(e.get("attrs") or {}),
+                )
+                for e in (payload.get("events") or [])  # type: ignore[union-attr]
+            ],
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned by a disabled tracer.
+
+    Every mutator is a constant-time no-op, so instrumented code paths
+    can call span methods unconditionally; the disabled-tracer overhead
+    is one attribute check plus one method dispatch per call site.
+    """
+
+    __slots__ = ()
+
+    trace_id = ""
+    span_id = -1
+    parent_id = None
+    name = "noop"
+    start = 0.0
+    end = 0.0
+    finished = True
+    duration = 0.0
+    context = TraceContext(trace_id="", span_id=-1)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def add_event(self, name: str, time: float, **attributes: object) -> None:
+        pass
+
+    def finish(self, end: float) -> None:
+        pass
+
+
+#: Module-level singleton; identity-comparable (`span is NOOP_SPAN`).
+NOOP_SPAN = _NoopSpan()

@@ -1,0 +1,166 @@
+"""Tracer and the :class:`Telemetry` hub.
+
+The tracer owns span identity (a monotonic counter — deterministic under
+the seeded sim clock, unlike random ids) and the span store.  Components
+receive the tracer explicitly through their constructors and parent new
+spans off an explicit :class:`~repro.obs.span.TraceContext`; there is no
+ambient "current span" global.
+
+``Telemetry`` bundles the three telemetry surfaces of the subsystem —
+tracer, metrics registry, SPSA audit trail — behind a single object that
+is threaded through the stack.  :data:`NOOP_TELEMETRY` is the shared
+disabled instance every component defaults to; its hot-path cost is one
+``enabled`` check or an empty method call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .audit import AuditTrail
+from .registry import NOOP_REGISTRY, MetricsRegistry
+from .span import NOOP_SPAN, Span, TraceContext
+
+ParentLike = Union[Span, TraceContext, None]
+
+
+class Tracer:
+    """Span factory and store for batch-lifecycle traces.
+
+    Parameters
+    ----------
+    enabled:
+        When False every ``start_*`` call returns the shared no-op span.
+    task_detail:
+        Opt-in per-task execution spans (potentially thousands per batch);
+        instrumentation sites check this flag before emitting task spans.
+    max_spans:
+        Ring bound on retained finished spans so week-long simulated runs
+        cannot grow memory without limit; the newest spans win.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        task_detail: bool = False,
+        max_spans: int = 200_000,
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.enabled = enabled
+        self.task_detail = task_detail
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self._by_id: Dict[int, Span] = {}
+        self._next_span_id = 1
+        self.dropped_spans = 0
+
+    # -- span creation -------------------------------------------------------
+
+    def _new_span(
+        self,
+        name: str,
+        trace_id: str,
+        parent_id: Optional[int],
+        start: float,
+        attributes: Dict[str, object],
+    ) -> Span:
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_span_id,
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            attributes=attributes,
+        )
+        self._next_span_id += 1
+        if len(self.spans) >= self.max_spans:
+            evicted = self.spans.pop(0)
+            self._by_id.pop(evicted.span_id, None)
+            self.dropped_spans += 1
+        self.spans.append(span)
+        self._by_id[span.span_id] = span
+        return span
+
+    def start_trace(
+        self, name: str, trace_id: str, start: float, **attributes: object
+    ) -> Span:
+        """Open a root span, beginning a new trace."""
+        if not self.enabled:
+            return NOOP_SPAN  # type: ignore[return-value]
+        return self._new_span(name, trace_id, None, start, dict(attributes))
+
+    def start_span(
+        self, name: str, parent: ParentLike, start: float, **attributes: object
+    ) -> Span:
+        """Open a child span under ``parent`` (a span or a trace context)."""
+        if not self.enabled or parent is None or parent is NOOP_SPAN:
+            return NOOP_SPAN  # type: ignore[return-value]
+        return self._new_span(
+            name, parent.trace_id, parent.span_id, start, dict(attributes)
+        )
+
+    # -- context plumbing ----------------------------------------------------
+
+    def span_for(self, ctx: Optional[TraceContext]) -> Span:
+        """Resolve a propagated context back to its live span.
+
+        Returns the no-op span for None / disabled / already-evicted
+        contexts so call sites never need a null check.
+        """
+        if not self.enabled or ctx is None:
+            return NOOP_SPAN  # type: ignore[return-value]
+        return self._by_id.get(ctx.span_id, NOOP_SPAN)  # type: ignore[arg-type]
+
+    def finish_span(self, ctx: Optional[TraceContext], end: float) -> None:
+        self.span_for(ctx).finish(end)
+
+    # -- queries -------------------------------------------------------------
+
+    def trace(self, trace_id: str) -> List[Span]:
+        """All spans of one trace, in creation order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.trace_id, None)
+        return list(seen)
+
+    def children_of(self, span: Span) -> List[Span]:
+        return [
+            s
+            for s in self.spans
+            if s.parent_id == span.span_id and s.trace_id == span.trace_id
+        ]
+
+    def roots(self) -> List[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._by_id.clear()
+
+
+class Telemetry:
+    """The bundle of telemetry surfaces threaded through the stack."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        task_detail: bool = False,
+        max_spans: int = 200_000,
+    ) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer(
+            enabled=enabled, task_detail=task_detail, max_spans=max_spans
+        )
+        self.metrics: MetricsRegistry = (
+            MetricsRegistry() if enabled else NOOP_REGISTRY
+        )
+        self.audit = AuditTrail(enabled=enabled)
+
+
+#: Shared disabled hub: the default for every instrumented component.
+NOOP_TELEMETRY = Telemetry(enabled=False)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
 from repro.engine.job import BatchJob
+from repro.obs.span import TraceContext
 
 
 @dataclass(frozen=True)
@@ -24,6 +25,9 @@ class QueuedBatch:
     enqueued_at: float
     mean_arrival_time: float
     interval: float
+    trace: Optional[TraceContext] = None
+    """Root-span context of this batch's trace (explicit propagation:
+    the engine parents its queue/schedule/execute spans off this)."""
 
 
 class BatchQueue:
@@ -40,6 +44,9 @@ class BatchQueue:
         self.peak_length = 0
         #: (time, length) samples for instability analysis.
         self.length_history: List[Tuple[float, int]] = []
+        #: The batch evicted by the most recent :meth:`enqueue` call, or
+        #: None — lets the caller close the evicted batch's trace.
+        self.last_evicted: Optional[QueuedBatch] = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -59,8 +66,9 @@ class BatchQueue:
         blocks ingestion.
         """
         dropped = False
+        self.last_evicted = None
         if self.max_length is not None and len(self._queue) >= self.max_length:
-            self._queue.popleft()
+            self.last_evicted = self._queue.popleft()
             self.total_dropped += 1
             dropped = True
         self._queue.append(batch)

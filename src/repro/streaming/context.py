@@ -30,6 +30,8 @@ from repro.datagen.generator import DataGenerator
 from repro.engine.faults import NO_FAULTS, FaultModel
 from repro.engine.overhead import DEFAULT_OVERHEAD, OverheadModel
 from repro.engine.task_scheduler import NoiseModel, TaskScheduler
+from repro.obs.span import NOOP_SPAN, Span
+from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 from repro.workloads.base import Workload
 
 from .batch_queue import BatchQueue, QueuedBatch
@@ -71,23 +73,27 @@ class StreamingContext:
         noise: NoiseModel = NoiseModel(),
         queue_max_length: Optional[int] = None,
         faults: FaultModel = NO_FAULTS,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.cluster = cluster
         self.workload = workload
         self.generator = generator
         self.rng = np.random.default_rng(seed)
         self.overhead = overhead
+        self.telemetry = telemetry or NOOP_TELEMETRY
 
         self.resource_manager = ResourceManager(cluster)
+        self.resource_manager.instrument(self.telemetry.metrics)
         self.resource_manager.scale_to(config.num_executors, now=0.0)
-        self.receiver = Receiver(generator)
+        self.receiver = Receiver(generator, telemetry=self.telemetry)
         self.queue = BatchQueue(max_length=queue_max_length)
-        self.listener = StreamingListener()
+        self.listener = StreamingListener(telemetry=self.telemetry)
         self.engine = MicroBatchEngine(
             self.resource_manager,
             TaskScheduler(overhead=overhead, noise=noise, faults=faults),
             self.listener,
             self.rng,
+            telemetry=self.telemetry,
         )
 
         self._interval = config.batch_interval
@@ -97,6 +103,24 @@ class StreamingContext:
         #: Callbacks invoked with the upcoming boundary time before each
         #: batch closes — the chaos engine's injection point.
         self._boundary_hooks: List[Callable[[float], None]] = []
+        #: Monotonic batch-trace sequence (trace ids stay unique even if
+        #: job ids ever restart).
+        self._trace_seq = 0
+        #: Root span of the batch currently being formed; chaos-engine
+        #: boundary hooks attach fault span events here.
+        self.current_batch_span: Span = NOOP_SPAN
+        registry = self.telemetry.metrics
+        self._m_reconfigs = registry.counter(
+            "repro_streaming_reconfigurations_total",
+            "Runtime configuration changes applied",
+        )
+        self._m_queue_len = registry.gauge(
+            "repro_streaming_queue_length", "Batches formed but not yet started"
+        )
+        self._m_dropped = registry.counter(
+            "repro_streaming_batches_dropped_total",
+            "Batches evicted from the bounded queue (data loss)",
+        )
 
     # -- configuration ----------------------------------------------------
 
@@ -150,6 +174,7 @@ class StreamingContext:
             changed = True
         if changed:
             self.config_changes += 1
+            self._m_reconfigs.inc()
             self.engine.note_reconfiguration(self.time, self.overhead.reconfig_pause)
 
     # -- simulation ---------------------------------------------------------
@@ -173,20 +198,64 @@ class StreamingContext:
         catches up).
         """
         boundary = self.time + self._interval
+        tracer = self.telemetry.tracer
+        traced = tracer.enabled
+        root = NOOP_SPAN
+        if traced:
+            self._trace_seq += 1
+            root = tracer.start_trace(
+                "batch",
+                trace_id=f"batch-{self._trace_seq:06d}",
+                start=self.time,
+                interval=self._interval,
+            )
+            self.current_batch_span = root
         for hook in self._boundary_hooks:
             hook(boundary)
         received = self.receiver.close_batch(boundary)
+        if traced:
+            # Ingest covers the arrival window that became this batch:
+            # the Kafka fetch (direct-stream offset ranges) and the
+            # receiver-side block formation over the same interval.
+            ingest = tracer.start_span("ingest", root, self.time)
+            kafka_span = tracer.start_span(
+                "ingest.kafka", ingest, self.time,
+                records=received.records, backlog=self.receiver.backlog,
+            )
+            kafka_span.finish(boundary)
+            blocks = tracer.start_span(
+                "ingest.blocks", ingest, self.time,
+                mean_arrival=received.mean_arrival_time,
+            )
+            blocks.finish(boundary)
+            ingest.finish(boundary)
         job = self.workload.build_job(boundary, received.records, self.rng)
+        if traced:
+            root.set_attribute("batch_index", job.job_id)
+            root.set_attribute("records", received.records)
         self.queue.enqueue(
             QueuedBatch(
                 job=job,
                 enqueued_at=boundary,
                 mean_arrival_time=received.mean_arrival_time,
                 interval=self._interval,
+                trace=root.context if traced else None,
             )
         )
+        evicted = self.queue.last_evicted
+        if evicted is not None:
+            self._m_dropped.inc()
+            if evicted.trace is not None:
+                dropped_root = tracer.span_for(evicted.trace)
+                dropped_root.add_event("dropped", boundary, reason="queue_full")
+                dropped_root.set_attribute("dropped", True)
+                dropped_root.finish(boundary)
         self.time = boundary
-        return self.engine.drain(self.queue, until=boundary + self._interval)
+        completed = self.engine.drain(self.queue, until=boundary + self._interval)
+        if self.telemetry.enabled:
+            self._m_queue_len.set(len(self.queue))
+        self.current_batch_span = NOOP_SPAN
+        return completed
 
     def advance_batches(self, n: int) -> List[BatchInfo]:
         """Advance ``n`` batch boundaries; returns all completed batches."""

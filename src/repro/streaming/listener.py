@@ -7,13 +7,19 @@ NoStop computes the next-step configuration parameters" (§4.3).
 The listener receives a callback per completed batch and renders status
 reports as JSON; NoStop's metric collector subscribes to it rather than
 touching simulator internals, mirroring the paper's architecture where
-the optimizer lives outside the engine.
+the optimizer lives outside the engine.  With telemetry attached, the
+listener is also where per-batch streaming metrics are recorded —
+counters for batches/records and histograms for processing time,
+scheduling delay, and end-to-end delay.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Callable, List, Optional
+
+from repro.obs.registry import DEFAULT_COUNT_BUCKETS
+from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
 from .metrics import BatchInfo, StreamingMetrics
 
@@ -23,21 +29,71 @@ BatchCallback = Callable[[BatchInfo], None]
 class StreamingListener:
     """Collects :class:`BatchInfo` events and serves JSON status reports."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.metrics = StreamingMetrics()
         self._subscribers: List[BatchCallback] = []
+        self.telemetry = telemetry or NOOP_TELEMETRY
+        registry = self.telemetry.metrics
+        self._m_batches = registry.counter(
+            "repro_streaming_batches_total", "Completed micro-batches"
+        )
+        self._m_records = registry.counter(
+            "repro_streaming_records_total", "Records across completed batches"
+        )
+        self._m_unstable = registry.counter(
+            "repro_streaming_unstable_batches_total",
+            "Batches whose processing time exceeded their interval",
+        )
+        self._m_proc = registry.histogram(
+            "repro_streaming_processing_seconds", "Batch processing time"
+        )
+        self._m_sched = registry.histogram(
+            "repro_streaming_scheduling_delay_seconds", "Batch schedule delay"
+        )
+        self._m_e2e = registry.histogram(
+            "repro_streaming_end_to_end_delay_seconds",
+            "Mean record end-to-end delay per batch",
+        )
+        self._m_batch_records = registry.histogram(
+            "repro_streaming_batch_records_count",
+            "Records per batch",
+            buckets=DEFAULT_COUNT_BUCKETS,
+        )
 
     def subscribe(self, callback: BatchCallback) -> None:
         """Register a per-batch callback (NoStop's metric collector)."""
         self._subscribers.append(callback)
 
     def unsubscribe(self, callback: BatchCallback) -> None:
-        self._subscribers.remove(callback)
+        """Remove a callback; a no-op if it was never registered.
+
+        Tolerating unknown callbacks makes teardown idempotent — a
+        subscriber that lost the race (or already removed itself from
+        within its own callback) can safely unsubscribe again.
+        """
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def on_batch_completed(self, info: BatchInfo) -> None:
-        """Record a completed batch and fan out to subscribers."""
+        """Record a completed batch and fan out to subscribers.
+
+        Iterates over a snapshot of the subscriber list, so a callback
+        may unsubscribe itself (or others) without corrupting the
+        iteration; subscribers added mid-fan-out see the *next* batch.
+        """
         self.metrics.record(info)
-        for cb in self._subscribers:
+        if self.telemetry.enabled:
+            self._m_batches.inc()
+            self._m_records.inc(info.records)
+            if not info.stable:
+                self._m_unstable.inc()
+            self._m_proc.observe(info.processing_time)
+            self._m_sched.observe(info.scheduling_delay)
+            self._m_e2e.observe(info.end_to_end_delay)
+            self._m_batch_records.observe(info.records)
+        for cb in list(self._subscribers):
             cb(info)
 
     # -- status reports -------------------------------------------------

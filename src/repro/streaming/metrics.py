@@ -17,7 +17,36 @@ Definitions follow the paper exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Exact ``q``-quantile (0..1) with linear interpolation.
+
+    Unlike the bucket-interpolated estimates of
+    :class:`~repro.obs.registry.Histogram`, this works on the raw sample
+    and is exact — the right tool for experiment reports, where the full
+    batch history is in hand anyway.
+    """
+    if not values:
+        raise ValueError("no values to take a percentile of")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    s = sorted(float(v) for v in values)
+    if len(s) == 1:
+        return s[0]
+    pos = q * (len(s) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(s) - 1)
+    frac = pos - lo
+    return s[lo] + (s[hi] - s[lo]) * frac
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (0.5, 0.95, 0.99)
+) -> Tuple[float, ...]:
+    """The usual report triple (p50, p95, p99) in one call."""
+    return tuple(percentile(values, q) for q in qs)
 
 
 @dataclass(frozen=True)
@@ -124,6 +153,18 @@ class StreamingMetrics:
         if not batch:
             raise ValueError("no batches recorded")
         return sum(b.end_to_end_delay for b in batch) / len(batch)
+
+    def processing_time_percentile(self, q: float) -> float:
+        return percentile([b.processing_time for b in self.batches], q)
+
+    def end_to_end_delay_percentile(self, q: float) -> float:
+        return percentile([b.end_to_end_delay for b in self.batches], q)
+
+    def delay_percentiles(
+        self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+    ) -> Tuple[float, ...]:
+        """Tail view of end-to-end delay — mean alone hides instability."""
+        return percentiles([b.end_to_end_delay for b in self.batches], qs)
 
     def total_records(self) -> int:
         return sum(b.records for b in self.batches)

@@ -10,9 +10,11 @@ record-weighted mean arrival time (needed for end-to-end delay).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.datagen.generator import DataGenerator
 from repro.kafka.consumer import DirectStreamConsumer
+from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -27,12 +29,24 @@ class ReceivedBatch:
 class Receiver:
     """Direct-stream receiver over a :class:`DataGenerator`."""
 
-    def __init__(self, generator: DataGenerator) -> None:
+    def __init__(
+        self,
+        generator: DataGenerator,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
         self.generator = generator
         self.consumer = DirectStreamConsumer(generator.producer.topic)
         self._last_poll = 0.0
         self._stalled = False
         self.stall_windows = 0
+        self.telemetry = telemetry or NOOP_TELEMETRY
+        registry = self.telemetry.metrics
+        self.consumer.instrument(registry)
+        self.generator.producer.instrument(registry)
+        self._m_stalls = registry.counter(
+            "repro_streaming_receiver_stall_windows_total",
+            "Batch windows during which the receiver could not fetch",
+        )
 
     # -- fault injection (broker outage / receiver stall) -------------------
 
@@ -88,6 +102,7 @@ class Receiver:
             # where they were; the post-recovery poll gets the backlog.
             self._last_poll = batch_time
             self.stall_windows += 1
+            self._m_stalls.inc()
             return ReceivedBatch(
                 batch_time=batch_time, records=0, mean_arrival_time=batch_time
             )

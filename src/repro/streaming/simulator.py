@@ -6,6 +6,11 @@ running waits in the queue and accrues *schedule delay*.  The engine here
 owns the engine-busy timeline, drains the queue causally (a job is
 started only once simulated time has reached its start), and emits a
 :class:`~repro.streaming.metrics.BatchInfo` per completed batch.
+
+When telemetry is attached, every started job continues its batch's
+trace: a ``queue`` span covering the wait from enqueue to job start,
+then ``schedule`` / ``execute`` spans emitted by the task scheduler, and
+finally the batch root span is closed at the job's finish time.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import numpy as np
 
 from repro.cluster.resource_manager import ResourceManager
 from repro.engine.task_scheduler import JobRun, TaskScheduler
+from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
 from .batch_queue import BatchQueue, QueuedBatch
 from .listener import StreamingListener
@@ -31,11 +37,13 @@ class MicroBatchEngine:
         scheduler: TaskScheduler,
         listener: StreamingListener,
         rng: np.random.Generator,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.resource_manager = resource_manager
         self.scheduler = scheduler
         self.listener = listener
         self.rng = rng
+        self.telemetry = telemetry or NOOP_TELEMETRY
         #: Time at which the engine finishes its current job (busy until).
         self.free_at = 0.0
         self.jobs_run = 0
@@ -46,6 +54,18 @@ class MicroBatchEngine:
         self._reconfig_pending = False
         self.last_runs: List[JobRun] = []
         self.keep_runs = False
+        metrics = self.telemetry.metrics
+        self._m_jobs = metrics.counter(
+            "repro_engine_jobs_total", "Batch jobs executed by the engine"
+        )
+        self._m_task_failures = metrics.counter(
+            "repro_engine_task_failures_total",
+            "Transient task failures (retried attempts)",
+        )
+        self._m_stage_seconds = metrics.histogram(
+            "repro_engine_stage_seconds",
+            "Per-stage wall time (all iterations of one stage)",
+        )
 
     def note_reconfiguration(self, now: float, pause: float) -> None:
         """Account for a runtime configuration change.
@@ -78,10 +98,25 @@ class MicroBatchEngine:
 
     def _run(self, qb: QueuedBatch, start: float) -> BatchInfo:
         executors = self.resource_manager.executors
-        run = self.scheduler.run_job(qb.job, executors, start, self.rng)
+        tracer = self.telemetry.tracer
+        if tracer.enabled and qb.trace is not None:
+            queue_span = tracer.start_span("queue", qb.trace, qb.enqueued_at)
+            queue_span.finish(start)
+            run = self.scheduler.run_job(
+                qb.job, executors, start, self.rng,
+                tracer=tracer, parent=qb.trace,
+            )
+        else:
+            run = self.scheduler.run_job(qb.job, executors, start, self.rng)
         self.free_at = run.finish
         self.jobs_run += 1
         self.total_task_failures += run.task_failures
+        self._m_jobs.inc()
+        if run.task_failures:
+            self._m_task_failures.inc(run.task_failures)
+        if self.telemetry.enabled:
+            for sr in run.stage_runs:
+                self._m_stage_seconds.observe(sr.duration)
         if self.keep_runs:
             self.last_runs.append(run)
         info = BatchInfo(
@@ -96,6 +131,13 @@ class MicroBatchEngine:
             first_after_reconfig=self._reconfig_pending,
         )
         self._reconfig_pending = False
+        if tracer.enabled and qb.trace is not None:
+            root = tracer.span_for(qb.trace)
+            root.set_attribute("processing_time", info.processing_time)
+            root.set_attribute("scheduling_delay", info.scheduling_delay)
+            root.set_attribute("executors", len(executors))
+            root.set_attribute("task_failures", run.task_failures)
+            root.finish(run.finish)
         self.listener.on_batch_completed(info)
         return info
 

@@ -1,0 +1,108 @@
+"""Exporters: JSONL round-trip, Prometheus validity, CLI renderers."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    parse_jsonl_spans,
+    prometheus_text,
+    render_metrics_summary,
+    render_timeline,
+    save_spans,
+    spans_to_jsonl,
+    validate_prometheus_text,
+)
+
+
+def make_spans():
+    tracer = Tracer()
+    root = tracer.start_trace("batch", "batch-000000", 0.0, interval=10.0)
+    ingest = tracer.start_span("ingest", root, 0.0)
+    ingest.add_event("chaos.inject", 3.0, event_id=1, fault="crash")
+    ingest.finish(10.0)
+    q = tracer.start_span("queue", root, 10.0)
+    q.finish(10.0)
+    root.finish(14.0)
+    return tracer.spans
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        spans = make_spans()
+        back = parse_jsonl_spans(spans_to_jsonl(spans))
+        assert back == spans
+
+    def test_save_and_reload(self, tmp_path):
+        spans = make_spans()
+        path = save_spans(spans, str(tmp_path / "spans.jsonl"))
+        with open(path, encoding="utf-8") as fh:
+            assert parse_jsonl_spans(fh.read()) == spans
+
+    def test_bad_line_reports_line_number(self):
+        text = spans_to_jsonl(make_spans()) + "\nnot json"
+        with pytest.raises(ValueError, match="line 4"):
+            parse_jsonl_spans(text)
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("repro_streaming_batches_total", "Batches").inc(3)
+    reg.gauge("repro_streaming_queue_length", "Queue").set(2)
+    h = reg.histogram(
+        "repro_streaming_processing_seconds", "Proc", buckets=(1.0, 5.0)
+    )
+    for v in (0.5, 2.0, 9.0):
+        h.observe(v)
+    return reg
+
+
+class TestPrometheus:
+    def test_snapshot_is_valid(self):
+        text = prometheus_text(populated_registry())
+        assert validate_prometheus_text(text) == []
+
+    def test_histogram_rendering(self):
+        text = prometheus_text(populated_registry())
+        assert 'repro_streaming_processing_seconds_bucket{le="1"} 1' in text
+        assert 'repro_streaming_processing_seconds_bucket{le="5"} 2' in text
+        assert 'repro_streaming_processing_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_streaming_processing_seconds_count 3" in text
+        assert "# TYPE repro_streaming_processing_seconds histogram" in text
+
+    def test_validator_catches_bucket_regression(self):
+        text = prometheus_text(populated_registry()).replace(
+            'le="5"} 2', 'le="5"} 0'
+        )
+        assert validate_prometheus_text(text) != []
+
+    def test_validator_catches_garbage_sample(self):
+        problems = validate_prometheus_text("this is not prometheus\n")
+        assert problems != []
+
+
+class TestRenderers:
+    def test_timeline_shows_tree_and_events(self):
+        out = render_timeline(make_spans())
+        assert "batch-000000" in out
+        assert "ingest" in out
+        assert "chaos.inject" in out
+        # children are indented under the root
+        root_line = next(line for line in out.splitlines() if "  batch " in line)
+        ingest_line = next(line for line in out.splitlines() if "ingest " in line)
+        assert len(ingest_line) - len(ingest_line.lstrip()) > (
+            len(root_line) - len(root_line.lstrip())
+        )
+
+    def test_timeline_last_n_limits_traces(self):
+        tracer = Tracer()
+        for i in range(5):
+            tracer.start_trace("batch", f"batch-{i:06d}", float(i)).finish(i + 1)
+        out = render_timeline(tracer.spans, last_n_traces=2)
+        assert "batch-000003" in out and "batch-000004" in out
+        assert "batch-000000" not in out
+
+    def test_metrics_summary_mentions_percentiles(self):
+        out = render_metrics_summary(populated_registry())
+        assert "repro_streaming_processing_seconds" in out
+        assert "p95" in out

@@ -1,0 +1,111 @@
+"""Metrics registry: naming rules, instrument semantics, no-op path."""
+
+import pytest
+
+from repro.obs import (
+    NOOP_INSTRUMENT,
+    NOOP_REGISTRY,
+    MetricsRegistry,
+)
+from repro.obs.registry import Histogram
+
+
+class TestNaming:
+    def test_prefix_enforced(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="repro_"):
+            reg.counter("spark_batches_total")
+
+    def test_character_set_enforced(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter("repro_bad-name_total")
+
+    def test_create_or_get_dedups(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total")
+        b = reg.counter("repro_x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("repro_x_total")
+
+    def test_collect_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total")
+        reg.counter("repro_a_total")
+        assert [m.name for m in reg.collect()] == [
+            "repro_a_total", "repro_b_total",
+        ]
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_x_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("repro_x")
+        g.set(5)
+        g.dec(2)
+        g.inc(0.5)
+        assert g.value == pytest.approx(3.5)
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("repro_h_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1, 1]
+        assert h.cumulative_counts() == [1, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.0)
+
+    def test_histogram_boundary_lands_in_le_bucket(self):
+        # Prometheus buckets are (lo, hi]: an observation exactly on a
+        # bound belongs to that bound's bucket.
+        h = Histogram("repro_h_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts == [1, 0, 0]
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("repro_h_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("repro_h_seconds", buckets=())
+
+    def test_quantile_interpolates(self):
+        h = Histogram("repro_h_seconds", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        q = h.quantile(0.5)
+        assert 1.0 <= q <= 2.0
+        assert h.quantile(0.0) <= h.quantile(0.99)
+
+    def test_quantile_empty_is_zero(self):
+        h = Histogram("repro_h_seconds", buckets=(1.0,))
+        assert h.quantile(0.95) == 0.0
+
+
+class TestNoopRegistry:
+    def test_factories_return_shared_noop(self):
+        assert NOOP_REGISTRY.counter("repro_x_total") is NOOP_INSTRUMENT
+        assert NOOP_REGISTRY.gauge("repro_x") is NOOP_INSTRUMENT
+        assert NOOP_REGISTRY.histogram("repro_x_seconds") is NOOP_INSTRUMENT
+        assert not NOOP_REGISTRY.enabled
+
+    def test_noop_instrument_absorbs_everything(self):
+        NOOP_INSTRUMENT.inc()
+        NOOP_INSTRUMENT.set(5)
+        NOOP_INSTRUMENT.observe(1.0)
+        assert NOOP_INSTRUMENT.value == 0.0
+        assert list(NOOP_REGISTRY.collect()) == []

@@ -81,3 +81,44 @@ class TestStreamingMetrics:
     def test_empty_aggregates_raise(self):
         with pytest.raises(ValueError):
             StreamingMetrics().mean_processing_time()
+
+
+class TestPercentiles:
+    def test_percentile_interpolates(self):
+        from repro.streaming.metrics import percentile
+
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+        assert percentile(values, 0.5) == 3.0
+        assert percentile(values, 0.25) == pytest.approx(2.0)
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_percentile_validates(self):
+        from repro.streaming.metrics import percentile
+
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_percentiles_triple(self):
+        from repro.streaming.metrics import percentiles
+
+        values = list(range(101))
+        p50, p95, p99 = percentiles(values)
+        assert p50 == pytest.approx(50.0)
+        assert p95 == pytest.approx(95.0)
+        assert p99 == pytest.approx(99.0)
+
+    def test_streaming_metrics_percentile_methods(self):
+        m = StreamingMetrics()
+        for i in range(20):
+            m.record(info(idx=i, bt=float(10 + i * 5), start=float(10 + i * 5),
+                          end=float(10 + i * 5) + 1.0 + i * 0.1))
+        p50, p95, p99 = m.delay_percentiles()
+        assert p50 <= p95 <= p99
+        assert m.processing_time_percentile(0.5) == pytest.approx(
+            1.0 + 19 * 0.1 / 2, abs=0.2
+        )
+        assert m.end_to_end_delay_percentile(0.99) == pytest.approx(p99)

@@ -78,6 +78,35 @@ class TestStreamingListener:
         listener.on_batch_completed(binfo(0))
         assert not seen
 
+    def test_unsubscribe_never_registered_is_noop(self):
+        listener = StreamingListener()
+        listener.unsubscribe(lambda info: None)  # must not raise
+
+    def test_unsubscribe_twice_is_idempotent(self):
+        listener = StreamingListener()
+        seen = []
+        listener.subscribe(seen.append)
+        listener.unsubscribe(seen.append)
+        listener.unsubscribe(seen.append)
+        listener.on_batch_completed(binfo(0))
+        assert not seen
+
+    def test_callback_may_unsubscribe_itself_mid_dispatch(self):
+        listener = StreamingListener()
+        seen = []
+
+        def once(info):
+            seen.append(info)
+            listener.unsubscribe(once)
+
+        listener.subscribe(once)
+        listener.subscribe(seen.append)
+        listener.on_batch_completed(binfo(0))
+        # Both callbacks of the snapshot ran; `once` is now gone.
+        assert len(seen) == 2
+        listener.on_batch_completed(binfo(1, bt=15.0))
+        assert len(seen) == 3
+
     def test_latest_status_none_before_batches(self):
         assert StreamingListener().latest_status() is None
 
