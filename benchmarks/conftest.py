@@ -8,9 +8,22 @@ not absolute numbers — see DESIGN.md §4 and EXPERIMENTS.md).
 mode with a single round: these are system-level experiments, not
 micro-benchmarks, and one execution per figure keeps the suite's runtime
 sane while still reporting wall time per figure.
+
+``bench_record`` persists each benchmark's headline numbers (end-to-end
+delay p50/p95/p99, objective, wall runtime) to ``BENCH_<suite>.json`` in
+the working directory at session end — one file per benchmark module, so
+CI can archive the suite's results without scraping stdout.
 """
 
+import json
 import sys
+import time
+from collections import defaultdict
+
+import pytest
+
+#: suite name -> test name -> recorded payload, flushed at session end.
+_BENCH_RECORDS = defaultdict(dict)
 
 
 def run_once(benchmark, fn, *args, **kwargs):
@@ -21,3 +34,50 @@ def run_once(benchmark, fn, *args, **kwargs):
 def emit(text: str) -> None:
     """Print a result block so it survives pytest's capture with -s."""
     sys.stdout.write("\n" + text + "\n")
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record this benchmark's summary for ``BENCH_<suite>.json``.
+
+    Call the yielded function once with the run's signals::
+
+        bench_record(metrics=listener.metrics, objective=report.best.objective)
+
+    ``metrics`` (a :class:`~repro.streaming.metrics.StreamingMetrics`)
+    contributes the delay p50/p95/p99 and batch count; ``objective`` the
+    final objective value; any extra keyword lands in the payload
+    verbatim.  Wall runtime of the whole test is stamped automatically.
+    """
+    suite = request.module.__name__.rpartition(".")[-1]
+    if suite.startswith("test_"):
+        suite = suite[len("test_"):]
+    payload = {}
+
+    def record(metrics=None, objective=None, **extra):
+        if metrics is not None and metrics.batches:
+            p50, p95, p99 = metrics.delay_percentiles((0.50, 0.95, 0.99))
+            payload.update({
+                "delayP50": p50,
+                "delayP95": p95,
+                "delayP99": p99,
+                "batches": len(metrics.batches),
+            })
+        if objective is not None:
+            payload["objective"] = float(objective)
+        payload.update(extra)
+
+    start = time.perf_counter()
+    yield record
+    payload["runtimeSeconds"] = round(time.perf_counter() - start, 3)
+    _BENCH_RECORDS[suite][request.node.name] = payload
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for suite, tests in sorted(_BENCH_RECORDS.items()):
+        with open(f"BENCH_{suite}.json", "w", encoding="utf-8") as fh:
+            json.dump(
+                {"suite": suite, "tests": tests},
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")

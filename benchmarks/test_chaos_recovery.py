@@ -58,9 +58,14 @@ def _fmt_mttr(v):
     return f"{v:.1f}" if math.isfinite(v) else "never"
 
 
-def test_chaos_recovery_comparison(benchmark):
+def test_chaos_recovery_comparison(benchmark, bench_record):
     nostop, (fixed, fixed_mttr), (bp, bp_mttr) = run_once(benchmark, compare)
     report = nostop.report
+    bench_record(
+        metrics=nostop.engine.context.listener.metrics,
+        objective=report.post_fault_objective,
+        worstMttrSeconds=max(e.mttr for e in report.events),
+    )
     nostop_delay = sum(
         b.end_to_end_delay
         for b in nostop.engine.context.listener.metrics.batches

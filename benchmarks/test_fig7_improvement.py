@@ -12,11 +12,15 @@ from repro.experiments.fig7_improvement import run_fig7
 from .conftest import emit, run_once
 
 
-def test_fig7_improvement(benchmark):
+def test_fig7_improvement(benchmark, bench_record):
     result = run_once(
         benchmark, run_fig7, repeats=5, rounds=35, base_seed=1
     )
     emit(result.to_table())
+    bench_record(**{
+        f"improvement_{name}": w.improvement
+        for name, w in result.workloads.items()
+    })
 
     for name, w in result.workloads.items():
         assert w.improvement > 1.3, (

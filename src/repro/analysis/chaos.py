@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Dict, List, Optional
 
 from repro.obs.span import Span
 from repro.streaming.metrics import BatchInfo
@@ -118,23 +119,72 @@ class FaultTraceJoin:
     """Trace carrying the matching ``chaos.recover`` event, if any."""
 
 
-def join_faults_to_traces(spans: Sequence[Span]) -> List[FaultTraceJoin]:
+class FaultJoinResult(Sequence):
+    """Joins in event-id order, plus how many fault events had no trace.
+
+    Behaves as a sequence of :class:`FaultTraceJoin` (iteration,
+    indexing, ``len``) so existing call sites keep working; ``orphans``
+    counts chaos events that could not be located in the span store —
+    spans evicted by the tracer's ring bound, tracing disabled mid-run,
+    or a malformed ``event_id`` attribute.  Because orphans are *skipped*
+    rather than joined, ``result[i]`` does **not** necessarily line up
+    with ``ChaosEngine.records[i]``; join by ``event_id`` instead.
+    """
+
+    def __init__(self, joins: List[FaultTraceJoin], orphans: int) -> None:
+        self.joins = joins
+        self.orphans = orphans
+
+    def __iter__(self):
+        return iter(self.joins)
+
+    def __len__(self) -> int:
+        return len(self.joins)
+
+    def __getitem__(self, index):
+        return self.joins[index]
+
+    def by_event_id(self) -> Dict[int, FaultTraceJoin]:
+        return {j.event_id: j for j in self.joins}
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultJoinResult({len(self.joins)} joins, "
+            f"{self.orphans} orphans)"
+        )
+
+
+def join_faults_to_traces(
+    spans: Sequence[Span],
+    records: Optional[Sequence] = None,
+) -> FaultJoinResult:
     """Map every ``chaos.inject`` span event to its batch trace.
 
     Scans root spans for chaos events (the engine attaches them to the
     batch span current at the boundary where the fault fired) and pairs
-    injections with their recoveries by event id.  Returns joins in
-    event-id order, so ``joins[i]`` lines up with
-    ``ChaosEngine.records[i]``.
+    injections with their recoveries by event id.
+
+    A fault event whose ``event_id`` has no matching trace span — the
+    batch span was evicted from the tracer's ring buffer, tracing was
+    off when the fault fired, or the attribute is not an integer — is
+    *skipped*, not an error.  Pass the engine's ``records`` to have
+    those skips counted: ``result.orphans`` is the number of recorded
+    firings absent from the join (without ``records``, only malformed
+    span events can be detected and counted).
     """
     injected: Dict[int, FaultTraceJoin] = {}
     recovered: Dict[int, str] = {}
+    malformed = 0
     for span in spans:
         for ev in span.events:
             eid = ev.attributes.get("event_id")
             if eid is None:
                 continue
-            eid = int(eid)
+            try:
+                eid = int(eid)
+            except (TypeError, ValueError):
+                malformed += 1
+                continue
             if ev.name == "chaos.inject":
                 injected[eid] = FaultTraceJoin(
                     event_id=eid,
@@ -155,4 +205,10 @@ def join_faults_to_traces(spans: Sequence[Span]) -> List[FaultTraceJoin]:
                 recover_trace_id=recovered[eid],
             )
         joins.append(j)
-    return joins
+    if records is not None:
+        orphans = sum(
+            1 for r in records if int(r.event_id) not in injected
+        )
+    else:
+        orphans = malformed
+    return FaultJoinResult(joins, orphans)

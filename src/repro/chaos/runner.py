@@ -143,6 +143,11 @@ def run_chaos_scenario(
         ),
         seed=seed,
         harden=harden,
+        # Inherit the setup's telemetry bundle: without it the chaos
+        # run's SPSA audit trail (and everything the run report reads
+        # from it — watchdog scan, rule firings, the §5.5 cross-check)
+        # would silently stay empty.
+        telemetry=setup.telemetry,
     )
     nostop = controller.run(rounds, confirm=confirm)
     engine.finish()

@@ -9,6 +9,9 @@ Run ``python -m repro <command>``:
                   trail as JSONL;
 * ``metrics``   — NoStop run with metrics on: prints a Prometheus
                   text-exposition snapshot or a human-readable summary;
+* ``report``    — one judged chaos run distilled into a run report (SLO
+                  verdicts, burn-rate alerts, anomalies, hotspots, MTTR,
+                  SPSA history); exits 1 on a critical SLO breach;
 * ``figure``    — regenerate one paper figure/table (fig2 fig3 fig5 fig6
                   fig7 fig8 table2);
 * ``compare``   — SPSA vs BO vs annealing vs random search on one workload;
@@ -132,10 +135,53 @@ def _cmd_metrics(args) -> int:
         text = render_metrics_summary(telemetry.metrics)
     print(text)
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            fh.write(text + "\n")
-        print(f"\nsnapshot written to {args.out}", file=sys.stderr)
+        if not text:
+            # Empty-registry export is a no-op: never leave a zero-byte
+            # scrape file behind.
+            print("\nempty snapshot; nothing written", file=sys.stderr)
+        else:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"\nsnapshot written to {args.out}", file=sys.stderr)
     return 0
+
+
+def _cmd_report(args) -> int:
+    """One judged chaos run distilled into a self-contained report.
+
+    Exit status 1 signals a critical SLO breach (the CI gate); 0 means
+    the run stayed on the rails.
+    """
+    from repro.experiments.common import judged_chaos_run
+    from repro.obs.profiler import WallClockProfiler
+
+    wall = WallClockProfiler()
+    with wall.section("run+judge"):
+        run = judged_chaos_run(
+            workload_name=args.workload,
+            rounds=args.rounds,
+            seed=args.seed,
+            rate_shift_at=args.rate_shift_at,
+            rate_shift_multiplier=args.rate_shift_multiplier,
+        )
+    report = run.report
+    with wall.section("render"):
+        text = report.render_text()
+        html = report.render_html() if args.html else None
+        payload = report.to_json() if args.json else None
+    print(text)
+    if html is not None:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(html + "\n")
+        print(f"\nHTML report written to {args.html}", file=sys.stderr)
+    if payload is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+        print(f"JSON report written to {args.json}", file=sys.stderr)
+    # Wall-clock attribution goes to stderr: real seconds are useful at
+    # the terminal but must never leak into the deterministic artifacts.
+    print("\nwall-clock profile:\n" + wall.render(), file=sys.stderr)
+    return 1 if report.critical_breach else 0
 
 
 def _cmd_figure(args) -> int:
@@ -275,6 +321,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["prom", "summary"], default="summary")
     p.add_argument("--out", default=None, help="also write the snapshot here")
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "report",
+        help="judged chaos run: SLOs, alerts, anomalies, hotspots, MTTR",
+    )
+    p.add_argument("--workload", default="wordcount", choices=sorted(WORKLOADS))
+    p.add_argument("--rounds", type=int, default=40)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--rate-shift-at", type=float, default=600.0,
+                   help="simulated time of the scripted §5.5 rate shift")
+    p.add_argument("--rate-shift-multiplier", type=float, default=0.25)
+    p.add_argument("--html", default=None,
+                   help="write a self-contained single-file HTML report here")
+    p.add_argument("--json", default=None, help="write the report as JSON")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("figure", help="regenerate one paper figure/table")
     p.add_argument("name", help="table2 | fig2 | fig3 | fig5 | fig6 | fig7 | fig8")

@@ -268,6 +268,9 @@ class NoStopController:
 
     def _do_reset(self) -> RoundRecord:
         """§5.5 restart: reset k, x, ρ, pause history, and window."""
+        # Capture the drift that tripped the trigger before the
+        # acknowledgement below clears the monitor's window.
+        self._reset_std = self.rate_monitor.current_std()
         self.spsa.reset()
         self.rho.reset()
         self.pause_rule.reset()
@@ -278,7 +281,11 @@ class NoStopController:
         self._m_resets.inc()
         self.audit.record_firing(
             "reset", self._rounds_run, self.system.time,
-            detail="input-rate drift exceeded the §5.5 threshold",
+            detail=(
+                f"input-rate drift exceeded the §5.5 threshold "
+                f"(rate std {self._reset_std:.3f} > "
+                f"{self.rate_monitor.threshold:g})"
+            ),
         )
         interval, executors = self._current_configuration()
         return RoundRecord(

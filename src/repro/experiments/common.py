@@ -11,7 +11,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.runner import ChaosRunResult
+    from repro.obs.report import RunJudge, RunReport
 
 from repro.cluster.cluster import Cluster, paper_cluster
 from repro.core.bounds import MinMaxScaler, paper_configuration_space
@@ -158,3 +162,93 @@ def quick_nostop_run(
     setup = build_experiment(workload_name, seed=seed, **build_kwargs)
     controller = make_controller(setup, seed=seed)
     return controller.run(rounds)
+
+
+@dataclass
+class JudgedRun:
+    """One judged chaos run: the substrate, the verdicts, the report."""
+
+    setup: ExperimentSetup
+    judge: "RunJudge"
+    chaos: "ChaosRunResult"
+    report: "RunReport"
+    telemetry: Telemetry
+
+
+def judged_chaos_run(
+    workload_name: str = "wordcount",
+    rounds: int = 40,
+    seed: int = 7,
+    rate_shift_at: float = 600.0,
+    rate_shift_multiplier: float = 0.25,
+    telemetry: Optional[Telemetry] = None,
+    slos=None,
+    policies=None,
+    rate_detector=None,
+    title: Optional[str] = None,
+    **build_kwargs,
+) -> JudgedRun:
+    """The seeded chaos quickstart behind ``repro report``.
+
+    One fully instrumented NoStop run combining every signal the run
+    report judges: the standard two-fault chaos schedule (executor crash
+    at t=120 s, broker stall at t=300 s), plus a scripted sustained
+    input-rate shift (×``rate_shift_multiplier`` from ``rate_shift_at``
+    onward — the §5.5 regime change that must fire both the CUSUM
+    detector and NoStop's restart rule).  The default is a ×0.25
+    down-shift: it exercises the same rate-monitor math as a surge
+    without drowning the cluster for the rest of the run, so the report
+    judges the shift response rather than a permanently backlogged
+    system.  The judge watches the listener *during* the run; the
+    returned :class:`JudgedRun` carries the stitched
+    :class:`~repro.obs.report.RunReport`.
+
+    Deterministic for a given (workload, seed, rounds): the report's
+    text/HTML/JSON renderings are byte-identical across repeats.
+    """
+    import math
+
+    from repro.datagen.rates import SpikeRate
+    from repro.obs.report import RunJudge, build_run_report
+
+    if telemetry is None:
+        telemetry = Telemetry(enabled=True)
+    base_trace = paper_rate_trace(workload_name, seed=seed)
+    shifted = SpikeRate(
+        base_trace,
+        spikes=((rate_shift_at, math.inf, rate_shift_multiplier),),
+    )
+    setup = build_experiment(
+        workload_name,
+        seed=seed,
+        rate_trace=shifted,
+        telemetry=telemetry,
+        **build_kwargs,
+    )
+    judge = RunJudge(
+        slos=slos, policies=policies, rate_detector=rate_detector
+    )
+    setup.context.listener.watch(judge)
+
+    from repro.chaos.runner import run_chaos_scenario, standard_chaos_schedule
+
+    chaos = run_chaos_scenario(
+        setup, standard_chaos_schedule(), rounds=rounds, seed=seed
+    )
+    report = build_run_report(
+        judge,
+        telemetry,
+        title=title or f"NoStop chaos run: {workload_name}",
+        workload=workload_name,
+        seed=seed,
+        rounds=rounds,
+        nostop_report=chaos.nostop,
+        chaos_records=chaos.engine.records,
+        batches=setup.context.listener.metrics.batches,
+        sim_duration=setup.context.time,
+        records_total=setup.context.listener.metrics.total_records(),
+    )
+    return JudgedRun(
+        setup=setup, judge=judge, chaos=chaos,
+        report=report, telemetry=telemetry,
+    )

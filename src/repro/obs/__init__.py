@@ -16,6 +16,14 @@ handful of no-op method calls per batch (benchmarked <5% overhead on the
 wordcount workload, see ``benchmarks/test_telemetry_overhead.py``).
 """
 
+from .alerts import (
+    Alert,
+    BurnRateAlerter,
+    BurnRatePolicy,
+    default_policies,
+    delay_above,
+    unstable_batch,
+)
 from .audit import (
     AuditTrail,
     ReplayMismatch,
@@ -23,7 +31,17 @@ from .audit import (
     SPSADecision,
     clipped_axes,
 )
+from .detect import (
+    MAD_TO_SIGMA,
+    AnomalyEvent,
+    CusumDetector,
+    EwmaMadDetector,
+    SpsaWatchdog,
+    WatchdogReport,
+)
 from .exporters import (
+    escape_help_text,
+    escape_label_value,
     parse_jsonl_spans,
     prometheus_text,
     render_metrics_summary,
@@ -31,6 +49,29 @@ from .exporters import (
     save_spans,
     spans_to_jsonl,
     validate_prometheus_text,
+)
+from .profiler import (
+    COMPONENT_SPANS,
+    PROCESSING_SPANS,
+    ComponentTime,
+    SpanProfile,
+    WallClockProfiler,
+    profile_spans,
+    render_hotspots,
+)
+from .report import (
+    FaultOutcome,
+    RunJudge,
+    RunReport,
+    build_run_report,
+)
+from .slo import (
+    SLO,
+    SLOEvaluator,
+    SLOVerdict,
+    default_slos,
+    has_critical_breach,
+    worst_breaches,
 )
 from .registry import (
     DEFAULT_COUNT_BUCKETS,
@@ -46,6 +87,37 @@ from .span import NOOP_SPAN, Span, SpanEvent, TraceContext
 from .tracer import NOOP_TELEMETRY, Telemetry, Tracer
 
 __all__ = [
+    "Alert",
+    "BurnRateAlerter",
+    "BurnRatePolicy",
+    "default_policies",
+    "delay_above",
+    "unstable_batch",
+    "MAD_TO_SIGMA",
+    "AnomalyEvent",
+    "CusumDetector",
+    "EwmaMadDetector",
+    "SpsaWatchdog",
+    "WatchdogReport",
+    "escape_help_text",
+    "escape_label_value",
+    "COMPONENT_SPANS",
+    "PROCESSING_SPANS",
+    "ComponentTime",
+    "SpanProfile",
+    "WallClockProfiler",
+    "profile_spans",
+    "render_hotspots",
+    "FaultOutcome",
+    "RunJudge",
+    "RunReport",
+    "build_run_report",
+    "SLO",
+    "SLOEvaluator",
+    "SLOVerdict",
+    "default_slos",
+    "has_critical_breach",
+    "worst_breaches",
     "AuditTrail",
     "ReplayMismatch",
     "RuleFiring",

@@ -60,12 +60,34 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-exposition rules.
+
+    Backslash, double quote, and line feed are the only characters the
+    format escapes (``\\\\``, ``\\"``, ``\\n``); everything else passes
+    through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """Escape HELP text: backslash and line feed only (quotes are legal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
-    """Render the registry in Prometheus text exposition format v0.0.4."""
+    """Render the registry in Prometheus text exposition format v0.0.4.
+
+    An empty registry renders to the empty string — callers writing
+    snapshot files should treat that as "nothing to export" rather than
+    producing a zero-byte scrape file.
+    """
     lines: List[str] = []
     for metric in registry.collect():
         name = metric.name  # type: ignore[attr-defined]
-        help_text = metric.help or name  # type: ignore[attr-defined]
+        help_text = escape_help_text(metric.help or name)  # type: ignore[attr-defined]
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {metric.kind}")  # type: ignore[attr-defined]
         if isinstance(metric, Histogram):
@@ -82,18 +104,32 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
+#: A label value is a run of non-special characters and *valid* escape
+#: sequences (``\\``, ``\"``, ``\n``); a stray backslash before anything
+#: else makes the sample malformed.
+_LABEL_VALUE = r'(?:[^"\\]|\\["\\n])*'
 _SAMPLE_RE = re.compile(
-    r"^[a-z_:][a-z0-9_:]*(\{[a-zA-Z0-9_]+=\"[^\"]*\"(,[a-zA-Z0-9_]+=\"[^\"]*\")*\})? "
+    r"^[a-z_:][a-z0-9_:]*"
+    r"(\{[a-zA-Z0-9_]+=\"" + _LABEL_VALUE + r"\""
+    r"(,[a-zA-Z0-9_]+=\"" + _LABEL_VALUE + r"\")*\})? "
     r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
 )
+_LABEL_PAIR_RE = re.compile(r'[a-zA-Z0-9_]+="((?:[^"\\]|\\.)*)"')
+#: A fully-valid label value: plain characters and complete escape pairs.
+#: Matched against the whole captured value (a lookahead-based stray-
+#: backslash scan would wrongly flag the second half of ``\\\\``).
+_LABEL_VALUE_OK_RE = re.compile(r'(?:[^\\]|\\["\\n])*\Z')
 
 
 def validate_prometheus_text(text: str) -> List[str]:
     """Structural validity check on an exposition snapshot.
 
     Returns a list of problems (empty = valid): malformed sample lines,
-    samples with no preceding ``# TYPE``, non-monotone histogram buckets,
-    and ``_count`` disagreeing with the ``+Inf`` bucket.
+    samples with no preceding ``# TYPE``, label values with invalid
+    escape sequences, histograms missing their mandatory ``+Inf``
+    bucket, non-monotone histogram buckets, and ``_count`` disagreeing
+    with the ``+Inf`` bucket.  An empty snapshot (no-op export of an
+    empty registry) is valid.
     """
     problems: List[str] = []
     typed: Dict[str, str] = {}
@@ -117,6 +153,16 @@ def validate_prometheus_text(text: str) -> List[str]:
             continue
         if line.startswith("#"):
             problems.append(f"line {i}: unknown comment directive")
+            continue
+        bad_escape = False
+        for m in _LABEL_PAIR_RE.finditer(line):
+            if not _LABEL_VALUE_OK_RE.match(m.group(1)):
+                problems.append(
+                    f"line {i}: invalid escape sequence in label value "
+                    f"{m.group(1)!r}"
+                )
+                bad_escape = True
+        if bad_escape:
             continue
         if not _SAMPLE_RE.match(line):
             problems.append(f"line {i}: malformed sample line: {line!r}")
@@ -144,6 +190,14 @@ def validate_prometheus_text(text: str) -> List[str]:
             problems.append(f"{base}: bucket counts not monotone")
         if base in inf_bucket and series and series[-1] > inf_bucket[base]:
             problems.append(f"{base}: +Inf bucket below last finite bucket")
+    # Every histogram must emit its mandatory +Inf bucket — a snapshot
+    # with finite buckets (or a _count) but no +Inf is unscrapeable.
+    histograms = {
+        name for name, kind in typed.items() if kind == "histogram"
+    }
+    for base in sorted(histograms | set(buckets) | set(counts)):
+        if typed.get(base) == "histogram" and base not in inf_bucket:
+            problems.append(f"{base}: histogram missing its +Inf bucket")
     for base, n in counts.items():
         if base in inf_bucket and n != inf_bucket[base]:
             problems.append(

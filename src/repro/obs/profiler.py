@@ -1,0 +1,203 @@
+"""Self-profiler: where did the time go?
+
+Two complementary attributions:
+
+* **Simulated time per pipeline component** — read off the existing
+  batch-lifecycle spans (no new instrumentation): ``ingest.kafka`` /
+  ``ingest.blocks`` / ``queue`` / ``schedule`` / ``execute`` leaf spans
+  are summed per name.  Because ``schedule`` + ``execute`` tile each
+  job's run (DESIGN.md §10), their totals sum exactly to the run's total
+  batch processing time — the invariant the run report asserts.
+* **Wall-clock time per subsystem** — a tiny section profiler
+  (:class:`WallClockProfiler`) for the host process itself: the report
+  CLI wraps its build/run/judge/render stages in ``section(...)`` blocks
+  to show where *real* seconds went.  The clock is injectable, so tests
+  are deterministic, and wall-clock numbers are never embedded in
+  byte-deterministic artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .span import Span
+
+#: The leaf span names that partition a batch's simulated lifecycle.
+#: ``ingest`` and ``batch`` are parents of these and excluded to avoid
+#: double counting; ``task`` spans (opt-in detail) subdivide ``execute``.
+COMPONENT_SPANS = (
+    "ingest.kafka",
+    "ingest.blocks",
+    "queue",
+    "schedule",
+    "execute",
+)
+
+#: Components whose durations tile the engine's reported processing time.
+PROCESSING_SPANS = ("schedule", "execute")
+
+
+@dataclass(frozen=True)
+class ComponentTime:
+    """Aggregate simulated time attributed to one component."""
+
+    name: str
+    total: float
+    count: int
+    mean: float
+    max: float
+    share: float
+    """Fraction of the summed component time (0 when the total is 0)."""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "total": self.total,
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "share": self.share,
+        }
+
+
+@dataclass(frozen=True)
+class SpanProfile:
+    """Per-component attribution of one run's span store."""
+
+    components: Tuple[ComponentTime, ...]
+    processing_total: float
+    """Sum of schedule+execute span time == total batch processing time."""
+    spans_profiled: int
+    spans_skipped: int
+    """Unfinished or non-component spans left out of the attribution."""
+
+    def hotspots(self, n: int = 5) -> List[ComponentTime]:
+        """Top-``n`` components by total simulated time."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return sorted(
+            self.components, key=lambda c: (-c.total, c.name)
+        )[:n]
+
+    def component(self, name: str) -> Optional[ComponentTime]:
+        for c in self.components:
+            if c.name == name:
+                return c
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "components": [c.to_dict() for c in self.components],
+            "processingTotal": self.processing_total,
+            "spansProfiled": self.spans_profiled,
+            "spansSkipped": self.spans_skipped,
+        }
+
+
+def profile_spans(
+    spans: Iterable[Span],
+    component_names: Sequence[str] = COMPONENT_SPANS,
+) -> SpanProfile:
+    """Attribute simulated time to pipeline components from a span store.
+
+    Only finished spans whose name is in ``component_names`` count;
+    everything else (roots, the ``ingest`` parent, task-detail spans,
+    unfinished spans from an interrupted run) is tallied as skipped.
+    """
+    totals: Dict[str, List[float]] = {name: [] for name in component_names}
+    profiled = skipped = 0
+    for span in spans:
+        if span.name not in totals or not span.finished:
+            skipped += 1
+            continue
+        totals[span.name].append(span.duration)
+        profiled += 1
+
+    grand_total = sum(sum(v) for v in totals.values())
+    components = []
+    for name in component_names:
+        durations = totals[name]
+        total = sum(durations)
+        components.append(ComponentTime(
+            name=name,
+            total=total,
+            count=len(durations),
+            mean=total / len(durations) if durations else 0.0,
+            max=max(durations) if durations else 0.0,
+            share=total / grand_total if grand_total > 0 else 0.0,
+        ))
+    processing_total = sum(
+        c.total for c in components if c.name in PROCESSING_SPANS
+    )
+    return SpanProfile(
+        components=tuple(components),
+        processing_total=processing_total,
+        spans_profiled=profiled,
+        spans_skipped=skipped,
+    )
+
+
+def render_hotspots(profile: SpanProfile, n: int = 5) -> str:
+    """Terminal table of the top-``n`` simulated-time hotspots."""
+    lines = [
+        f"{'component':<14} {'total (s)':>12} {'count':>7} "
+        f"{'mean (s)':>10} {'max (s)':>10} {'share':>7}"
+    ]
+    for c in profile.hotspots(n):
+        lines.append(
+            f"{c.name:<14} {c.total:>12.3f} {c.count:>7d} "
+            f"{c.mean:>10.3f} {c.max:>10.3f} {c.share:>6.1%}"
+        )
+    lines.append(
+        f"{'(processing)':<14} {profile.processing_total:>12.3f}"
+        f"   = schedule + execute"
+    )
+    return "\n".join(lines)
+
+
+class WallClockProfiler:
+    """Nested wall-clock sections for the host process.
+
+    ``clock`` defaults to :func:`time.perf_counter`; inject a fake for
+    deterministic tests.  Sections with the same name accumulate.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._order: List[str] = []
+
+    @contextmanager
+    def section(self, name: str):
+        start = self._clock()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            if name not in self._totals:
+                self._totals[name] = 0.0
+                self._counts[name] = 0
+                self._order.append(name)
+            self._totals[name] += elapsed
+            self._counts[name] += 1
+
+    def totals(self) -> List[Tuple[str, float, int]]:
+        """(section, seconds, entries) in first-entered order."""
+        return [
+            (name, self._totals[name], self._counts[name])
+            for name in self._order
+        ]
+
+    def render(self) -> str:
+        rows = self.totals()
+        if not rows:
+            return "(no wall-clock sections recorded)"
+        width = max(len(name) for name, _, _ in rows)
+        return "\n".join(
+            f"{name:<{width}}  {seconds:>9.3f}s  x{count}"
+            for name, seconds, count in rows
+        )

@@ -121,6 +121,15 @@ class StreamingContext:
             "repro_streaming_batches_dropped_total",
             "Batches evicted from the bounded queue (data loss)",
         )
+        self._m_interval = registry.gauge(
+            "repro_streaming_batch_interval_seconds",
+            "Batch interval currently in force",
+        )
+        self._m_executors = registry.gauge(
+            "repro_streaming_executors", "Executors currently allocated"
+        )
+        self._m_interval.set(self._interval)
+        self._m_executors.set(self.num_executors)
 
     # -- configuration ----------------------------------------------------
 
@@ -175,6 +184,8 @@ class StreamingContext:
         if changed:
             self.config_changes += 1
             self._m_reconfigs.inc()
+            self._m_interval.set(self._interval)
+            self._m_executors.set(self.num_executors)
             self.engine.note_reconfiguration(self.time, self.overhead.reconfig_pause)
 
     # -- simulation ---------------------------------------------------------

@@ -64,6 +64,20 @@ class StreamingListener:
         """Register a per-batch callback (NoStop's metric collector)."""
         self._subscribers.append(callback)
 
+    def watch(self, observer) -> None:
+        """Attach a judge-style observer (anything with ``observe_batch``).
+
+        Sugar over :meth:`subscribe` for the observability layer: the SLO
+        evaluator, burn-rate alerter, and the run judge all expose an
+        ``observe_batch(info)`` method and see every completed batch in
+        completion order, exactly as NoStop's own collector does.
+        """
+        self.subscribe(observer.observe_batch)
+
+    def unwatch(self, observer) -> None:
+        """Detach a previously watched observer (idempotent)."""
+        self.unsubscribe(observer.observe_batch)
+
     def unsubscribe(self, callback: BatchCallback) -> None:
         """Remove a callback; a no-op if it was never registered.
 

@@ -1,0 +1,33 @@
+"""Shared builders for the observability unit tests."""
+
+from repro.streaming.metrics import BatchInfo
+
+
+def make_batch(
+    index: int,
+    *,
+    batch_time: float = None,
+    interval: float = 10.0,
+    records: int = 1000,
+    processing_time: float = 5.0,
+    scheduling_delay: float = 0.0,
+    executors: int = 10,
+) -> BatchInfo:
+    """One synthetic completed batch, ``index`` spacing one interval apart.
+
+    ``processing_time > interval`` makes the batch unstable;
+    ``scheduling_delay`` pushes its start (and therefore its end-to-end
+    delay) later, exactly as backlog would.
+    """
+    bt = batch_time if batch_time is not None else index * interval
+    start = bt + scheduling_delay
+    return BatchInfo(
+        batch_index=index,
+        batch_time=bt,
+        interval=interval,
+        records=records,
+        num_executors=executors,
+        mean_arrival_time=bt - interval / 2.0,
+        processing_start=start,
+        processing_end=start + processing_time,
+    )

@@ -102,3 +102,37 @@ class TestClippedAxes:
     def test_flags_moved_axes_only(self):
         assert clipped_axes((1.5, 0.3), (1.0, 0.3)) == (True, False)
         assert clipped_axes((0.1, 0.2), (0.1, 0.2)) == (False, False)
+
+
+class TestReplayEdgeCases:
+    def test_empty_trail_replays_clean(self):
+        """A run that never reached its first SPSA round is vacuously
+        consistent — replay must return no mismatches, not crash."""
+        assert AuditTrail().replay() == []
+        box = Box(lower=[0.0, 0.0], upper=[1.0, 1.0])
+        assert AuditTrail().replay(box) == []
+
+    def test_interrupted_final_round_reports_missing_gradient(self):
+        """A trail whose last round was cut off mid-step — probes were
+        measured and logged, but the run died before the step record —
+        lands as an unguarded decision with no gradient.  Replay must
+        flag exactly that round and keep judging the rest."""
+        trail = AuditTrail()
+        trail.record_decision(make_decision(round_index=1))
+        trail.record_decision(make_decision(
+            round_index=2,
+            gradient=None,
+            theta_next=(0.4, 0.6),  # never moved: no step was taken
+        ))
+        mismatches = trail.replay()
+        assert [(m.round_index, m.what) for m in mismatches] == [
+            (2, "missing_gradient")
+        ]
+
+    def test_interrupted_round_survives_jsonl_round_trip(self):
+        trail = AuditTrail()
+        trail.record_decision(make_decision(
+            round_index=1, gradient=None, theta_next=(0.4, 0.6)
+        ))
+        restored = AuditTrail.from_jsonl(trail.to_jsonl())
+        assert [m.what for m in restored.replay()] == ["missing_gradient"]

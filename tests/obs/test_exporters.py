@@ -4,6 +4,8 @@ import pytest
 
 from repro.obs import (
     MetricsRegistry,
+    escape_help_text,
+    escape_label_value,
     Tracer,
     parse_jsonl_spans,
     prometheus_text,
@@ -106,3 +108,65 @@ class TestRenderers:
         out = render_metrics_summary(populated_registry())
         assert "repro_streaming_processing_seconds" in out
         assert "p95" in out
+
+
+class TestEscaping:
+    def test_label_value_escapes_the_three_specials(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_label_value_passes_everything_else_verbatim(self):
+        assert escape_label_value("täsk{}=,") == "täsk{}=,"
+
+    def test_help_text_keeps_quotes_literal(self):
+        assert escape_help_text('say "hi"\n\\') == 'say "hi"\\n\\\\'
+
+    def test_escaped_label_values_validate(self):
+        escaped = escape_label_value("a\\b\nc")
+        text = (
+            "# TYPE demo_total counter\n"
+            f'demo_total{{path="{escaped}"}} 1\n'
+        )
+        assert validate_prometheus_text(text) == []
+
+    def test_stray_backslash_in_label_value_is_flagged(self):
+        text = (
+            "# TYPE demo_total counter\n"
+            'demo_total{path="a\\qb"} 1\n'
+        )
+        problems = validate_prometheus_text(text)
+        assert any("invalid escape" in p for p in problems)
+
+    def test_help_line_newline_escaped_in_export(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total", "line one\nline two").inc()
+        text = prometheus_text(reg)
+        assert "# HELP repro_test_total line one\\nline two" in text
+        assert validate_prometheus_text(text) == []
+
+
+class TestHistogramInfBucket:
+    def test_missing_inf_bucket_is_flagged(self):
+        text = prometheus_text(populated_registry())
+        stripped = "\n".join(
+            line for line in text.splitlines() if 'le="+Inf"' not in line
+        )
+        problems = validate_prometheus_text(stripped)
+        assert any("missing its +Inf bucket" in p for p in problems)
+
+    def test_typed_histogram_with_no_samples_still_needs_inf(self):
+        text = (
+            "# TYPE demo_seconds histogram\n"
+            'demo_seconds_bucket{le="1"} 0\n'
+            "demo_seconds_sum 0\n"
+            "demo_seconds_count 0\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("missing its +Inf bucket" in p for p in problems)
+
+
+class TestEmptyRegistry:
+    def test_empty_registry_exports_empty_string(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_empty_snapshot_is_valid(self):
+        assert validate_prometheus_text("") == []

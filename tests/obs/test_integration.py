@@ -15,7 +15,7 @@ from repro.chaos.engine import ChaosEngine
 from repro.chaos.events import AtTime, FaultEvent, FaultSchedule
 from repro.chaos.injectors import BrokerOutage, ExecutorCrash
 from repro.experiments.common import build_experiment, make_controller
-from repro.obs import Telemetry, spans_to_jsonl, validate_prometheus_text
+from repro.obs import Telemetry, Tracer, spans_to_jsonl, validate_prometheus_text
 from repro.obs.exporters import prometheus_text
 
 ROUNDS = 6
@@ -222,3 +222,48 @@ class TestDisabledPath:
         assert [r.num_executors for r in plain_report.rounds] == [
             r.num_executors for r in traced_report.rounds
         ]
+
+
+class TestFaultJoinOrphans:
+    """Fault events with no matching trace span are skipped and counted,
+    never raised (the span may have been evicted from the tracer's ring,
+    or tracing was off when the fault fired)."""
+
+    @staticmethod
+    def _spans_with_one_inject():
+        tracer = Tracer()
+        root = tracer.start_trace("batch", "batch-000000", 0.0)
+        root.add_event("chaos.inject", 3.0, event_id=1,
+                       fault="crash", kind="executor")
+        root.finish(10.0)
+        return tracer.spans
+
+    def test_missing_event_counts_as_orphan(self):
+        class Record:
+            def __init__(self, event_id):
+                self.event_id = event_id
+
+        result = join_faults_to_traces(
+            self._spans_with_one_inject(),
+            records=[Record(1), Record(2)],  # event 2's span was evicted
+        )
+        assert len(result) == 1
+        assert result[0].event_id == 1
+        assert result.orphans == 1
+        assert result.by_event_id().keys() == {1}
+
+    def test_malformed_event_id_counts_without_records(self):
+        tracer = Tracer()
+        root = tracer.start_trace("batch", "batch-000000", 0.0)
+        root.add_event("chaos.inject", 3.0, event_id="not-a-number",
+                       fault="crash", kind="executor")
+        root.finish(10.0)
+        result = join_faults_to_traces(tracer.spans)
+        assert len(result) == 0
+        assert result.orphans == 1
+
+    def test_result_keeps_sequence_semantics(self):
+        result = join_faults_to_traces(self._spans_with_one_inject())
+        assert list(result) == [result[0]]
+        assert len(result) == 1
+        assert "1 joins, 0 orphans" in repr(result)

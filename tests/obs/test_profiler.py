@@ -1,0 +1,100 @@
+"""Self-profiler: span attribution and the wall-clock section profiler."""
+
+import pytest
+
+from repro.obs import (
+    PROCESSING_SPANS,
+    WallClockProfiler,
+    profile_spans,
+    render_hotspots,
+)
+from repro.obs.span import Span
+
+
+def span(name, start, end, span_id=0, trace_id="t"):
+    s = Span(trace_id=trace_id, span_id=span_id, parent_id=None,
+             name=name, start=start)
+    if end is not None:
+        s.finish(end)
+    return s
+
+
+class TestProfileSpans:
+    def test_attribution_sums_and_shares(self):
+        spans = [
+            span("ingest.kafka", 0.0, 1.0, 1),
+            span("queue", 1.0, 2.0, 2),
+            span("schedule", 2.0, 2.5, 3),
+            span("execute", 2.5, 6.0, 4),
+            span("schedule", 6.0, 6.5, 5),
+            span("execute", 6.5, 9.0, 6),
+        ]
+        profile = profile_spans(spans)
+        assert profile.spans_profiled == 6
+        sched = profile.component("schedule")
+        exe = profile.component("execute")
+        assert sched.total == pytest.approx(1.0)
+        assert exe.total == pytest.approx(6.0)
+        assert profile.processing_total == pytest.approx(
+            sum(c.total for c in profile.components
+                if c.name in PROCESSING_SPANS)
+        )
+        assert sum(c.share for c in profile.components) == pytest.approx(1.0)
+
+    def test_parents_and_unfinished_spans_are_skipped(self):
+        spans = [
+            span("batch", 0.0, 10.0, 1),       # root, not a component
+            span("ingest", 0.0, 1.0, 2),       # parent, not a leaf
+            span("execute", 2.0, None, 3),     # unfinished
+            span("execute", 2.0, 5.0, 4),
+        ]
+        profile = profile_spans(spans)
+        assert profile.spans_profiled == 1
+        assert profile.spans_skipped == 3
+        assert profile.processing_total == pytest.approx(3.0)
+
+    def test_empty_store_profiles_to_zero(self):
+        profile = profile_spans([])
+        assert profile.processing_total == 0.0
+        assert all(c.share == 0.0 for c in profile.components)
+
+    def test_hotspots_ordered_by_total(self):
+        spans = [
+            span("queue", 0.0, 5.0, 1),
+            span("execute", 5.0, 7.0, 2),
+            span("schedule", 7.0, 8.0, 3),
+        ]
+        names = [c.name for c in profile_spans(spans).hotspots(3)]
+        assert names == ["queue", "execute", "schedule"]
+
+    def test_render_mentions_processing_identity(self):
+        text = render_hotspots(profile_spans([span("execute", 0.0, 2.0, 1)]))
+        assert "schedule + execute" in text
+
+
+class TestWallClockProfiler:
+    def test_sections_accumulate_with_fake_clock(self):
+        ticks = iter([0.0, 1.0, 1.0, 1.5, 2.0, 2.25])
+        prof = WallClockProfiler(clock=lambda: next(ticks))
+        with prof.section("build"):
+            pass
+        with prof.section("build"):
+            pass
+        with prof.section("render"):
+            pass
+        assert prof.totals() == [("build", 1.5, 2), ("render", 0.25, 1)]
+
+    def test_section_records_even_on_exception(self):
+        ticks = iter([0.0, 2.0])
+        prof = WallClockProfiler(clock=lambda: next(ticks))
+        with pytest.raises(RuntimeError):
+            with prof.section("boom"):
+                raise RuntimeError("x")
+        assert prof.totals() == [("boom", 2.0, 1)]
+
+    def test_render_empty_and_filled(self):
+        prof = WallClockProfiler(clock=lambda: 0.0)
+        assert "no wall-clock sections" in prof.render()
+        with prof.section("a"):
+            pass
+        assert "a" in prof.render()
