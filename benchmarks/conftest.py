@@ -16,6 +16,7 @@ CI can archive the suite's results without scraping stdout.
 """
 
 import json
+import os
 import sys
 import time
 from collections import defaultdict
@@ -46,15 +47,18 @@ def bench_record(request):
 
     ``metrics`` (a :class:`~repro.streaming.metrics.StreamingMetrics`)
     contributes the delay p50/p95/p99 and batch count; ``objective`` the
-    final objective value; any extra keyword lands in the payload
-    verbatim.  Wall runtime of the whole test is stamped automatically.
+    final objective value; ``workers`` the sweep fan-out width (defaults
+    to 1 — every benchmark is assumed sequential unless it says
+    otherwise); any extra keyword lands in the payload verbatim.  Wall
+    runtime of the whole test and the machine's CPU count are stamped
+    automatically so recorded speedups can be read in context.
     """
     suite = request.module.__name__.rpartition(".")[-1]
     if suite.startswith("test_"):
         suite = suite[len("test_"):]
-    payload = {}
+    payload = {"workers": 1}
 
-    def record(metrics=None, objective=None, **extra):
+    def record(metrics=None, objective=None, workers=None, **extra):
         if metrics is not None and metrics.batches:
             p50, p95, p99 = metrics.delay_percentiles((0.50, 0.95, 0.99))
             payload.update({
@@ -65,11 +69,15 @@ def bench_record(request):
             })
         if objective is not None:
             payload["objective"] = float(objective)
+        if workers is not None:
+            payload["workers"] = int(workers)
         payload.update(extra)
 
     start = time.perf_counter()
     yield record
     payload["runtimeSeconds"] = round(time.perf_counter() - start, 3)
+    payload["wallSeconds"] = payload["runtimeSeconds"]
+    payload["cpuCount"] = os.cpu_count() or 1
     _BENCH_RECORDS[suite][request.node.name] = payload
 
 

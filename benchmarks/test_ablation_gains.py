@@ -6,58 +6,70 @@ range = 10, c ≈ measurement std = 2, A = 1) plus the automatic
 delay and stability.  Shape: the paper settings and the suggested gains
 both land stable with competitive delay; a far-too-small step (a = 1)
 under-explores and keeps the interval near its mid-range start.
+
+Variants execute as ``nostop`` cells through the sweep runner — the
+benchmark exercises the same pathway ``repro sweep`` uses (uncached, so
+timings stay honest).
 """
 
 from repro.analysis.tables import format_table
-from repro.core.gains import GainSchedule
-from repro.core.tuning import suggest_gains
-from repro.experiments.common import build_experiment, make_controller
+from repro.runner import SweepRunner, SweepSpec
 
 from .conftest import emit, run_once
 
 WORKLOAD = "linear_regression"
 
+#: JSON gain specs, as the ``nostop`` cell kind consumes them.
+GAIN_VARIANTS = {
+    "paper (a=10, c=2, A=1)": {"a": 10.0, "c": 2.0, "A": 1.0},
+    "small step (a=1)": {"a": 1.0, "c": 2.0, "A": 1.0},
+    "large step (a=30)": {"a": 30.0, "c": 2.0, "A": 1.0},
+    "small probe (c=0.5)": {"a": 10.0, "c": 0.5, "A": 1.0},
+    "suggested (5.6 rules)": {"suggest": {"y_std": 2.0}},
+}
 
-def run_gain_variants(seed=23, rounds=30):
-    setup0 = build_experiment(WORKLOAD, seed=seed)
-    variants = {
-        "paper (a=10, c=2, A=1)": GainSchedule(a=10.0, c=2.0, A=1.0),
-        "small step (a=1)": GainSchedule(a=1.0, c=2.0, A=1.0),
-        "large step (a=30)": GainSchedule(a=30.0, c=2.0, A=1.0),
-        "small probe (c=0.5)": GainSchedule(a=10.0, c=0.5, A=1.0),
-        "suggested (5.6 rules)": suggest_gains(
-            setup0.scaler.scaled, expected_iterations=rounds, y_std=2.0
-        ),
+
+def gain_variants_spec(seed=23, rounds=30):
+    return SweepSpec(
+        name="ablation-gains",
+        kind="nostop",
+        base={"workload": WORKLOAD, "seed": seed, "rounds": rounds},
+        cases=[{"gains": g} for g in GAIN_VARIANTS.values()],
+    )
+
+
+def run_gain_variants(seed=23, rounds=30, workers=1):
+    sweep = SweepRunner(workers=workers).run(gain_variants_spec(seed, rounds))
+    return {
+        name: res["best"]
+        for name, res in zip(GAIN_VARIANTS, sweep.results)
     }
-    results = {}
-    for name, gains in variants.items():
-        setup = build_experiment(WORKLOAD, seed=seed)
-        controller = make_controller(setup, seed=seed, gains=gains)
-        controller.run(rounds)
-        results[name] = controller.pause_rule.best_config()
-    return results
 
 
-def test_ablation_gains(benchmark):
+def test_ablation_gains(benchmark, bench_record):
     results = run_once(benchmark, run_gain_variants)
     emit(
         format_table(
             ["gains", "interval (s)", "proc (s)", "delay (s)", "stable"],
             [
-                (name, b.batch_interval, b.mean_processing_time,
-                 b.end_to_end_delay, b.stable)
+                (name, b["batchInterval"], b["meanProcessingTime"],
+                 b["endToEndDelay"], b["stable"])
                 for name, b in results.items()
             ],
             title=f"Ablation: gain sequences ({WORKLOAD})",
         )
     )
+    bench_record(
+        variants=len(results),
+        stableVariants=sum(1 for b in results.values() if b["stable"]),
+    )
     paper = results["paper (a=10, c=2, A=1)"]
     suggested = results["suggested (5.6 rules)"]
-    assert paper.stable
-    assert suggested.stable
+    assert paper["stable"]
+    assert suggested["stable"]
     # The automatic derivation matches the hand-picked paper gains.
-    assert suggested.end_to_end_delay <= 1.5 * paper.end_to_end_delay
+    assert suggested["endToEndDelay"] <= 1.5 * paper["endToEndDelay"]
     # A tiny step size cannot walk the interval down from the 20.5 s
     # start within the round budget.
     small = results["small step (a=1)"]
-    assert small.end_to_end_delay >= paper.end_to_end_delay
+    assert small["endToEndDelay"] >= paper["endToEndDelay"]

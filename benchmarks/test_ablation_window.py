@@ -4,11 +4,12 @@ Compares measurement windows of 1 / 3 (paper-style base) / 8 batches on
 the same optimization problem.  A single-batch window is cheapest per
 probe but noisy (worse final pick or more rounds to settle); a very
 large window smooths measurements but burns simulated time per probe.
+
+Windows execute as ``nostop`` cells through the sweep runner.
 """
 
 from repro.analysis.tables import format_table
-from repro.core.metrics_collector import MetricsCollector
-from repro.experiments.common import build_experiment, make_controller
+from repro.runner import SweepRunner, SweepSpec
 
 from .conftest import emit, run_once
 
@@ -16,46 +17,43 @@ WORKLOAD = "page_analyze"
 WINDOWS = (1, 3, 8)
 
 
-def run_windows(seed=17, rounds=25):
-    rows = []
-    for window in WINDOWS:
-        setup = build_experiment(WORKLOAD, seed=seed)
-        controller = make_controller(setup, seed=seed)
-        controller.collector = MetricsCollector(
-            window=window, max_window=max(12, window)
-        )
-        controller.adjust.collector = controller.collector
-        start = setup.system.time
-        controller.run(rounds)
-        best = controller.pause_rule.best_config()
-        rows.append(
-            {
-                "window": window,
-                "best": best,
-                "sim_time": setup.system.time - start,
-            }
-        )
-    return rows
+def windows_spec(seed=17, rounds=25):
+    return SweepSpec(
+        name="ablation-window",
+        kind="nostop",
+        base={"workload": WORKLOAD, "seed": seed, "rounds": rounds},
+        cases=[{"collector_window": w} for w in WINDOWS],
+    )
 
 
-def test_ablation_window(benchmark):
+def run_windows(seed=17, rounds=25, workers=1):
+    sweep = SweepRunner(workers=workers).run(windows_spec(seed, rounds))
+    return [
+        {"window": w, "best": res["best"], "sim_time": res["simTime"]}
+        for w, res in zip(WINDOWS, sweep.results)
+    ]
+
+
+def test_ablation_window(benchmark, bench_record):
     rows = run_once(benchmark, run_windows)
     emit(
         format_table(
             ["window (batches)", "interval (s)", "delay (s)", "stable",
              "sim time (s)"],
             [
-                (r["window"], r["best"].batch_interval,
-                 r["best"].end_to_end_delay, r["best"].stable, r["sim_time"])
+                (r["window"], r["best"]["batchInterval"],
+                 r["best"]["endToEndDelay"], r["best"]["stable"],
+                 r["sim_time"])
                 for r in rows
             ],
             title=f"Ablation: metric-collection window ({WORKLOAD})",
         )
     )
+    bench_record(windows=list(WINDOWS))
     by_window = {r["window"]: r for r in rows}
     # Larger windows consume more simulated time for the same rounds.
     assert by_window[8]["sim_time"] > by_window[1]["sim_time"]
     # The paper-style window must end stable with a competitive delay.
-    assert by_window[3]["best"].stable
-    best_delay = min(r["best"].end_to_end_delay for r in rows)
-    assert by_window[3]["best"].end_to_end_delay <= 1.5 * best_delay
+    assert by_window[3]["best"]["stable"]
+    best_delay = min(r["best"]["endToEndDelay"] for r in rows)
+    assert by_window[3]["best"]["endToEndDelay"] <= 1.5 * best_delay

@@ -14,6 +14,9 @@ Run ``python -m repro <command>``:
                   SPSA history); exits 1 on a critical SLO breach;
 * ``figure``    — regenerate one paper figure/table (fig2 fig3 fig5 fig6
                   fig7 fig8 table2);
+* ``sweep``     — run a figure sweep through the parallel sweep runner
+                  with the content-addressed result cache (``--workers``,
+                  ``--no-cache``, ``--clear-cache``, ``--cache-dir``);
 * ``compare``   — SPSA vs BO vs annealing vs random search on one workload;
 * ``workloads`` — list available workloads and their paper rate bands.
 """
@@ -237,6 +240,95 @@ def _cmd_figure(args) -> int:
     return 2
 
 
+def _cmd_sweep(args) -> int:
+    """Run a figure sweep through the parallel, cached sweep runner."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.runner import ResultCache, SweepRunner, default_cache_dir
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = ResultCache(cache_dir)
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cache cleared: {removed} entries removed from {cache_dir}",
+              file=sys.stderr)
+        if args.name is None:
+            return 0
+    if args.name is None:
+        print("no sweep named; use fig2/fig3/fig5/fig7/fig8 or --clear-cache",
+              file=sys.stderr)
+        return 2
+
+    runner = SweepRunner(
+        workers=args.workers, cache=cache, use_cache=not args.no_cache
+    )
+    name = args.name.lower()
+    if name == "fig2":
+        from repro.experiments.fig2_batch_interval import run_fig2
+
+        kwargs = {"workload": args.workload} if args.workload else {}
+        print(run_fig2(seed=args.seed, runner=runner,
+                       count_only=args.count_only, **kwargs).to_table())
+    elif name == "fig3":
+        from repro.experiments.fig3_executors import run_fig3
+
+        kwargs = {"workload": args.workload} if args.workload else {}
+        print(run_fig3(seed=args.seed, runner=runner,
+                       count_only=args.count_only, **kwargs).to_table())
+    elif name == "fig5":
+        from repro.experiments.fig5_rates import run_fig5
+
+        print(run_fig5(seed=args.seed, runner=runner).to_table())
+    elif name == "fig7":
+        from repro.experiments.fig6_evolution import PAPER_WORKLOADS
+        from repro.experiments.fig7_improvement import run_fig7
+
+        workloads = [args.workload] if args.workload else PAPER_WORKLOADS
+        print(run_fig7(repeats=args.repeats, rounds=args.rounds,
+                       base_seed=args.seed, workloads=workloads,
+                       runner=runner, count_only=args.count_only).to_table())
+    elif name == "fig8":
+        from repro.experiments.fig6_evolution import PAPER_WORKLOADS
+        from repro.experiments.fig8_spsa_vs_bo import run_fig8
+
+        workloads = [args.workload] if args.workload else PAPER_WORKLOADS
+        print(run_fig8(repeats=args.repeats, rounds=args.rounds,
+                       base_seed=args.seed, workloads=workloads,
+                       runner=runner, count_only=args.count_only).to_table())
+    else:
+        print(f"unknown sweep {args.name!r}; expected fig2/fig3/fig5/fig7/fig8",
+              file=sys.stderr)
+        return 2
+
+    t = runner.totals
+    print(
+        f"\nsweep: {t.cells} cells | {t.cache_hits} cache hits, "
+        f"{t.executed} executed ({t.batches_executed} batches simulated) | "
+        f"{t.workers} worker(s), {t.wall_seconds:.2f}s wall | "
+        f"cache: {cache_dir}",
+        file=sys.stderr,
+    )
+    if args.json:
+        payload = {
+            "sweep": name,
+            "cells": t.cells,
+            "cacheHits": t.cache_hits,
+            "cacheMisses": t.cache_misses,
+            "executed": t.executed,
+            "batchesExecuted": t.batches_executed,
+            "workers": t.workers,
+            "wallSeconds": t.wall_seconds,
+            "cacheDir": str(cache_dir),
+            "versionTag": cache.version_tag,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"sweep stats written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_compare(args) -> int:
     from repro.baselines.annealing import run_simulated_annealing
     from repro.baselines.bayesian import run_bayesian_optimization
@@ -343,6 +435,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--repeats", type=int, default=3,
                    help="repeats for fig7/fig8 (paper uses 5)")
     p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a figure sweep via the parallel, cached sweep runner",
+    )
+    p.add_argument("name", nargs="?", default=None,
+                   help="fig2 | fig3 | fig5 | fig7 | fig8")
+    p.add_argument("--workload", default=None, choices=sorted(WORKLOADS),
+                   help="restrict fig2/fig3/fig7/fig8 to one workload")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=3,
+                   help="repeats for fig7/fig8 (paper uses 5)")
+    p.add_argument("--rounds", type=int, default=40,
+                   help="NoStop rounds for fig7/fig8")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (results identical at any count)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore cached results (fresh results still stored)")
+    p.add_argument("--clear-cache", action="store_true",
+                   help="delete every cached cell before running")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: $REPRO_SWEEP_CACHE or "
+                        "~/.cache/repro/sweeps)")
+    p.add_argument("--count-only", action="store_true",
+                   help="segment-per-rate-span datagen fast path "
+                        "(deterministic, but not byte-identical to the "
+                        "default per-tick path)")
+    p.add_argument("--json", default=None,
+                   help="write sweep/cache accounting as JSON")
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("compare", help="compare optimizers on one workload")
     p.add_argument("--workload", default="linear_regression",

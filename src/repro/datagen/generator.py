@@ -40,6 +40,12 @@ class DataGenerator:
         Seed for payload synthesis.
     tick:
         Producer tick in seconds.
+    count_only:
+        Enable the count-only fast path: arrivals are materialized one
+        segment per constant-rate span rather than one per tick.  Use for
+        cost-model-driven runs that never execute workload kernels (the
+        sweep runner enables it for its cells); payload synthesis via
+        :meth:`sample_payloads` keeps working either way.
     """
 
     PAYLOAD_KINDS = ("labeled_points", "regression_points", "text", "nginx_logs")
@@ -52,6 +58,7 @@ class DataGenerator:
         seed: int = 0,
         tick: float = 1.0,
         rate_cap: Optional[float] = None,
+        count_only: bool = False,
     ) -> None:
         if payload_kind not in self.PAYLOAD_KINDS:
             raise ValueError(
@@ -59,7 +66,7 @@ class DataGenerator:
                 f"expected one of {self.PAYLOAD_KINDS}"
             )
         self.producer = RateControlledProducer(
-            topic, trace, tick=tick, rate_cap=rate_cap
+            topic, trace, tick=tick, rate_cap=rate_cap, count_only=count_only
         )
         self.payload_kind = payload_kind
         self._rng = np.random.default_rng(seed)

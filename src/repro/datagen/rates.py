@@ -52,6 +52,17 @@ class RateTrace(abc.ABC):
             raise ValueError("horizon must be positive")
         return self.records_between(0.0, horizon) / horizon
 
+    def constant_until(self, t: float) -> float:
+        """Latest time up to which the rate is known constant from ``t``.
+
+        Producers in count-only mode use this to materialize arrivals in
+        one segment per constant-rate span instead of one per tick.
+        Returning ``t`` (the conservative default for traces without a
+        closed form, e.g. :class:`SineRate`) disables the fast path and
+        falls back to tick-by-tick production.
+        """
+        return t
+
 
 @dataclass(frozen=True)
 class ConstantRate(RateTrace):
@@ -71,6 +82,9 @@ class ConstantRate(RateTrace):
             raise ValueError(f"t1 ({t1}) must be >= t0 ({t0})")
         return int(round(self.value * (t1 - t0)))
 
+    def constant_until(self, t: float) -> float:
+        return math.inf
+
 
 class UniformRandomRate(RateTrace):
     """Piecewise-constant rate resampled uniformly in ``[lo, hi]``.
@@ -89,15 +103,28 @@ class UniformRandomRate(RateTrace):
         self.hi = float(hi)
         self.hold = float(hold)
         self.seed = int(seed)
+        # Per-segment draws are pure functions of (seed, idx); memoizing
+        # them removes a Generator construction per rate() call — one of
+        # the hottest allocations in long simulation runs.
+        self._segment_cache: dict = {}
 
     def _segment_rate(self, idx: int) -> float:
-        rng = np.random.default_rng((self.seed, idx))
-        return float(rng.uniform(self.lo, self.hi))
+        cached = self._segment_cache.get(idx)
+        if cached is None:
+            rng = np.random.default_rng((self.seed, idx))
+            cached = float(rng.uniform(self.lo, self.hi))
+            self._segment_cache[idx] = cached
+        return cached
 
     def rate(self, t: float) -> float:
         if t < 0:
             raise ValueError(f"t must be >= 0, got {t}")
         return self._segment_rate(int(t // self.hold))
+
+    def constant_until(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        return (int(t // self.hold) + 1) * self.hold
 
     def records_between(self, t0: float, t1: float) -> int:
         if t1 < t0:
@@ -150,6 +177,14 @@ class StepRate(RateTrace):
                 break
         return current
 
+    def constant_until(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        for start, _ in self.levels:
+            if start > t:
+                return start
+        return math.inf
+
 
 @dataclass(frozen=True)
 class SineRate(RateTrace):
@@ -197,6 +232,15 @@ class SpikeRate(RateTrace):
                 r *= mult
         return r
 
+    def constant_until(self, t: float) -> float:
+        limit = self.base.constant_until(t)
+        for start, end, _ in self.spikes:
+            if start > t:
+                limit = min(limit, start)
+            if t < end <= limit:
+                limit = end
+        return limit
+
 
 class TraceRate(RateTrace):
     """Replay a recorded rate series (piecewise constant at ``dt``)."""
@@ -217,6 +261,15 @@ class TraceRate(RateTrace):
             raise ValueError(f"t must be >= 0, got {t}")
         idx = min(int(t // self.dt), len(self._samples) - 1)
         return float(self._samples[idx])
+
+    def constant_until(self, t: float) -> float:
+        if t < 0:
+            raise ValueError(f"t must be >= 0, got {t}")
+        idx = int(t // self.dt)
+        if idx >= len(self._samples) - 1:
+            # Past the last sample the series clamps to its final value.
+            return math.inf
+        return (idx + 1) * self.dt
 
 
 #: The paper's per-workload rate bands (records/second), Fig. 5.

@@ -160,6 +160,16 @@ class TaskScheduler:
 
         for stage in job.stages:
             stage_start = clock
+            # LPT order: longest tasks first minimizes makespan for list
+            # scheduling and mirrors Spark's preference for large pending
+            # tasks.  The order is a pure function of the stage, so it is
+            # computed once here rather than once per iteration — iterated
+            # ML stages re-run the same task set dozens of times.
+            order = sorted(
+                stage.tasks,
+                key=lambda t: t.compute_cost + t.io_cost,
+                reverse=True,
+            )
             for iteration in range(stage.iterations):
                 # Driver-side serial costs per stage execution.
                 sched_start = clock
@@ -177,7 +187,7 @@ class TaskScheduler:
                         tasks=stage.num_tasks,
                     )
                 clock = self._run_task_set(
-                    stage.tasks, slots, clock, rng, run,
+                    order, slots, clock, rng, run,
                     tracer=tracer if traced else None,
                     exec_span=exec_span,
                 )
@@ -198,7 +208,7 @@ class TaskScheduler:
 
     def _run_task_set(
         self,
-        tasks: Sequence[TaskSpec],
+        order: Sequence[TaskSpec],
         slots: List[tuple],
         barrier: float,
         rng: np.random.Generator,
@@ -206,40 +216,60 @@ class TaskScheduler:
         tracer: Optional[Tracer] = None,
         exec_span: Optional[Span] = None,
     ) -> float:
-        """Schedule one iteration of a stage's tasks; return the new barrier."""
-        if not tasks:
+        """Schedule one iteration of a stage's (LPT-ordered) tasks.
+
+        ``order`` must already be in longest-processing-time-first order
+        (the caller sorts once per stage); returns the new barrier.
+        """
+        if not order:
             return barrier
         task_spans = (
             tracer is not None and tracer.task_detail and exec_span is not None
         )
-        # LPT order: longest tasks first minimizes makespan for list
-        # scheduling and mirrors Spark's preference for large pending tasks.
-        order = sorted(tasks, key=lambda t: t.compute_cost + t.io_cost, reverse=True)
         noise = self.noise.draw(rng, len(order))
         finish_max = barrier
         seq = len(slots)
-        reinsert: List[tuple] = []
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        task_dispatch = self.overhead.task_dispatch
+        max_attempts = self.faults.max_attempts
+        faults_active = self.faults.enabled and max_attempts > 1
+        record_tasks = self.record_tasks
+        # Executor speed/penalty are invariant for the duration of one
+        # task set (slowdown and node state only change between batches),
+        # so resolve the property chains once per executor instead of
+        # once per attempt.  The inlined duration below performs exactly
+        # the same float operations as TaskSpec.duration_on, keeping
+        # makespans bit-identical.
+        ex_costs: dict = {}
         for i, spec in enumerate(order):
+            noise_i = float(noise[i])
+            compute_cost = spec.compute_cost
+            io_cost = spec.io_cost
             attempts = 0
             while True:
                 attempts += 1
-                free_at, _, ex = heapq.heappop(slots)
-                start = max(free_at, barrier) + self.overhead.task_dispatch
+                free_at, _, ex = heappop(slots)
+                start = max(free_at, barrier) + task_dispatch
                 startup = 0.0
                 charged = False
                 if not ex.initialized:
                     startup = self.overhead.executor_startup
                     ex.mark_initialized()
                     charged = True
-                duration = spec.duration_on(
-                    ex, noise_factor=float(noise[i]), startup_cost=startup
-                )
-                may_fail = attempts < self.faults.max_attempts
+                costs = ex_costs.get(ex.executor_id)
+                if costs is None:
+                    costs = (ex.speed_factor, ex.io_penalty)
+                    ex_costs[ex.executor_id] = costs
+                duration = (
+                    compute_cost / costs[0] + io_cost * costs[1]
+                ) * noise_i + startup
+                may_fail = faults_active and attempts < max_attempts
                 if may_fail and self.faults.attempt_fails(rng):
                     # Transient failure: the core is busy for part of the
                     # attempt, then the task re-queues on the earliest slot.
                     waste = duration * self.faults.waste_fraction(rng)
-                    heapq.heappush(slots, (start + waste, seq, ex))
+                    heappush(slots, (start + waste, seq, ex))
                     seq += 1
                     run.task_failures += 1
                     if exec_span is not None:
@@ -248,13 +278,14 @@ class TaskScheduler:
                             executor=ex.executor_id, attempt=attempts,
                         )
                     continue
-                if attempts == self.faults.max_attempts and attempts > 1:
+                if attempts == max_attempts and attempts > 1:
                     # The final allowed attempt always succeeds here; a
                     # real system would abort the job at this point.
                     run.exhausted_retries += 1
                 finish = start + duration
-                finish_max = max(finish_max, finish)
-                heapq.heappush(slots, (finish, seq, ex))
+                if finish > finish_max:
+                    finish_max = finish
+                heappush(slots, (finish, seq, ex))
                 seq += 1
                 if task_spans:
                     tspan = tracer.start_span(
@@ -262,7 +293,7 @@ class TaskScheduler:
                         executor=ex.executor_id, attempts=attempts,
                     )
                     tspan.finish(finish)
-                if self.record_tasks:
+                if record_tasks:
                     run.task_runs.append(
                         TaskRun(
                             spec=spec,
@@ -274,5 +305,4 @@ class TaskScheduler:
                     )
                 break
         # Barrier: next stage iteration starts when the slowest task ends.
-        del reinsert
         return finish_max

@@ -64,6 +64,7 @@ def build_experiment(
     queue_max_length: int = 25,
     cluster: Optional[Cluster] = None,
     telemetry: Optional[Telemetry] = None,
+    count_only: bool = False,
 ) -> ExperimentSetup:
     """Assemble the paper's deployment for one workload.
 
@@ -76,6 +77,10 @@ def build_experiment(
     of §1) instead of accumulating unbounded backlog — without a bound,
     a few unstable probes early in an optimization run would poison the
     rest of the experiment with queue drain.
+
+    ``count_only`` enables the data generator's segment-per-rate-span
+    fast path (see :class:`~repro.kafka.producer.RateControlledProducer`)
+    — the sweep runner turns it on for cost-model-driven cells.
 
     ``telemetry`` attaches a tracing/metrics/audit bundle to the whole
     stack.  When left ``None`` and ``REPRO_TRACE`` (or
@@ -98,6 +103,7 @@ def build_experiment(
         trace,
         payload_kind=workload.payload_kind,
         seed=seed,
+        count_only=count_only,
     )
     context = StreamingContext(
         cluster,
@@ -150,6 +156,20 @@ def make_controller(
         seed=seed,
         telemetry=setup.telemetry,
     )
+
+
+def paper_repeat_seeds(base_seed: int, repeats: int) -> list:
+    """The §6.3 "repeat five times" seed protocol.
+
+    Repeat ``r`` uses ``base_seed + 100 * r`` — spaced out so a
+    repeat's derived streams (measurement seeds at ``+7``, etc.) never
+    collide with a neighbouring repeat.  The figure drivers pin these
+    into their sweep specs, so runner-executed repeats are byte-for-byte
+    the sequential protocol.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return [base_seed + 100 * rep for rep in range(repeats)]
 
 
 def quick_nostop_run(

@@ -11,12 +11,10 @@ at the crossover.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.tables import format_table
-from repro.baselines.fixed import run_fixed_configuration
-
-from .common import build_experiment
+from repro.runner import SweepRunner, SweepSpec
 
 #: Default sweep matching the paper's [1, 40] s interval range.
 DEFAULT_INTERVALS = (2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 30.0, 40.0)
@@ -70,30 +68,66 @@ class Fig2Result:
         )
 
 
+def fig2_spec(
+    intervals: Sequence[float] = DEFAULT_INTERVALS,
+    workload: str = "logistic_regression",
+    num_executors: int = 10,
+    batches: int = 25,
+    seed: int = 1,
+    count_only: bool = False,
+) -> SweepSpec:
+    """Declarative form of the Fig. 2 sweep (one cell per interval)."""
+    return SweepSpec(
+        name=f"fig2-{workload}",
+        kind="fixed_config",
+        base={
+            "workload": workload,
+            "num_executors": num_executors,
+            "batches": batches,
+            "warmup": 4,
+            "seed": seed,
+            "count_only": count_only,
+        },
+        grid={"batch_interval": [float(i) for i in intervals]},
+    )
+
+
 def run_fig2(
     intervals: Sequence[float] = DEFAULT_INTERVALS,
     workload: str = "logistic_regression",
     num_executors: int = 10,
     batches: int = 25,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+    count_only: bool = False,
 ) -> Fig2Result:
-    """Run the Fig. 2 sweep; each point is a fresh deployment."""
-    result = Fig2Result(workload=workload, num_executors=num_executors)
-    for interval in intervals:
-        setup = build_experiment(
-            workload,
-            seed=seed,
-            batch_interval=float(interval),
+    """Run the Fig. 2 sweep; each point is a fresh deployment.
+
+    Executes through the sweep runner — pass a configured
+    :class:`~repro.runner.SweepRunner` for parallelism and caching; the
+    default (one in-process worker, no cache) reproduces the historical
+    sequential behaviour exactly.
+    """
+    runner = runner or SweepRunner()
+    sweep = runner.run(
+        fig2_spec(
+            intervals,
+            workload=workload,
             num_executors=num_executors,
+            batches=batches,
+            seed=seed,
+            count_only=count_only,
         )
-        run = run_fixed_configuration(setup.context, batches=batches, warmup=4)
+    )
+    result = Fig2Result(workload=workload, num_executors=num_executors)
+    for res in sweep.results:
         result.points.append(
             IntervalPoint(
-                interval=float(interval),
-                processing_time=run.mean_processing_time,
-                schedule_delay=run.mean_scheduling_delay,
-                end_to_end_delay=run.mean_end_to_end_delay,
-                unstable_fraction=run.unstable_fraction,
+                interval=res["batchInterval"],
+                processing_time=res["meanProcessingTime"],
+                schedule_delay=res["meanSchedulingDelay"],
+                end_to_end_delay=res["meanEndToEndDelay"],
+                unstable_fraction=res["unstableFraction"],
             )
         )
     return result

@@ -12,12 +12,10 @@ stable".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.tables import format_table
-from repro.baselines.fixed import run_fixed_configuration
-
-from .common import build_experiment
+from repro.runner import SweepRunner, SweepSpec
 
 DEFAULT_EXECUTOR_COUNTS = (2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 24)
 
@@ -77,31 +75,67 @@ class Fig3Result:
         )
 
 
+def fig3_spec(
+    executor_counts: Sequence[int] = DEFAULT_EXECUTOR_COUNTS,
+    workload: str = "logistic_regression",
+    interval: float = 10.0,
+    batches: int = 25,
+    seed: int = 1,
+    count_only: bool = False,
+) -> SweepSpec:
+    """Declarative form of the Fig. 3 sweep (one cell per count)."""
+    return SweepSpec(
+        name=f"fig3-{workload}",
+        kind="fixed_config",
+        base={
+            "workload": workload,
+            "batch_interval": float(interval),
+            "batches": batches,
+            "warmup": 4,
+            "seed": seed,
+            "count_only": count_only,
+        },
+        cases=[
+            {"num_executors": int(n), "max_executors": max(24, int(n))}
+            for n in executor_counts
+        ],
+    )
+
+
 def run_fig3(
     executor_counts: Sequence[int] = DEFAULT_EXECUTOR_COUNTS,
     workload: str = "logistic_regression",
     interval: float = 10.0,
     batches: int = 25,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+    count_only: bool = False,
 ) -> Fig3Result:
-    """Run the Fig. 3 sweep; each point is a fresh deployment."""
-    result = Fig3Result(workload=workload, interval=interval)
-    for n in executor_counts:
-        setup = build_experiment(
-            workload,
+    """Run the Fig. 3 sweep; each point is a fresh deployment.
+
+    Executes through the sweep runner (see :func:`run_fig2`'s note on
+    the ``runner`` parameter).
+    """
+    runner = runner or SweepRunner()
+    sweep = runner.run(
+        fig3_spec(
+            executor_counts,
+            workload=workload,
+            interval=interval,
+            batches=batches,
             seed=seed,
-            batch_interval=interval,
-            num_executors=int(n),
-            max_executors=max(24, int(n)),
+            count_only=count_only,
         )
-        run = run_fixed_configuration(setup.context, batches=batches, warmup=4)
+    )
+    result = Fig3Result(workload=workload, interval=interval)
+    for res in sweep.results:
         result.points.append(
             ExecutorPoint(
-                executors=int(n),
-                processing_time=run.mean_processing_time,
-                schedule_delay=run.mean_scheduling_delay,
-                end_to_end_delay=run.mean_end_to_end_delay,
-                unstable_fraction=run.unstable_fraction,
+                executors=res["numExecutors"],
+                processing_time=res["meanProcessingTime"],
+                schedule_delay=res["meanSchedulingDelay"],
+                end_to_end_delay=res["meanEndToEndDelay"],
+                unstable_fraction=res["unstableFraction"],
                 interval=interval,
             )
         )

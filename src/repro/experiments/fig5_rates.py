@@ -11,12 +11,13 @@ same series the optimizer experiences in Figs. 6-8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.tables import format_table
-from repro.datagen.rates import PAPER_RATE_BANDS, paper_rate_trace
+from repro.datagen.rates import PAPER_RATE_BANDS
+from repro.runner import SweepRunner, SweepSpec
 
 
 @dataclass
@@ -60,22 +61,35 @@ class Fig5Result:
         )
 
 
+def fig5_spec(
+    duration: float = 600.0, dt: float = 5.0, seed: int = 1
+) -> SweepSpec:
+    """Declarative form of the Fig. 5 sampling (one cell per workload)."""
+    return SweepSpec(
+        name="fig5",
+        kind="rate_series",
+        base={"duration": float(duration), "dt": float(dt), "seed": seed},
+        grid={"workload": list(PAPER_RATE_BANDS)},
+    )
+
+
 def run_fig5(
     duration: float = 600.0,
     dt: float = 5.0,
     seed: int = 1,
+    runner: Optional[SweepRunner] = None,
 ) -> Fig5Result:
     """Sample every workload's paper rate trace over ``duration`` seconds."""
     if duration <= 0 or dt <= 0:
         raise ValueError("duration and dt must be positive")
+    runner = runner or SweepRunner()
+    sweep = runner.run(fig5_spec(duration, dt, seed))
     result = Fig5Result()
-    times = np.arange(0.0, duration, dt)
-    for workload, band in PAPER_RATE_BANDS.items():
-        trace = paper_rate_trace(workload, seed=seed)
-        series = RateSeries(workload=workload, band=band)
-        series.times = [float(t) for t in times]
-        series.rates = [trace.rate(float(t)) for t in times]
-        result.series[workload] = series
+    for res in sweep.results:
+        series = RateSeries(workload=res["workload"], band=tuple(res["band"]))
+        series.times = list(res["times"])
+        series.rates = list(res["rates"])
+        result.series[res["workload"]] = series
     return result
 
 

@@ -12,13 +12,15 @@ average performance measurement with the standard deviation" (§6.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import Summary, improvement_factor, summarize
 from repro.analysis.tables import format_table
-from repro.baselines.fixed import DEFAULT_CONFIGURATION, run_fixed_configuration
+from repro.baselines.fixed import DEFAULT_CONFIGURATION
+from repro.runner import SweepRunner, SweepSpec
+from repro.runner.cells import execute_cell
 
-from .common import build_experiment, make_controller
+from .common import paper_repeat_seeds
 from .fig6_evolution import PAPER_WORKLOADS
 
 
@@ -76,14 +78,77 @@ def measure_configuration(
     batches: int = 40,
 ) -> float:
     """Steady-state end-to-end delay of a fixed configuration."""
-    setup = build_experiment(
-        workload,
-        seed=seed,
-        batch_interval=batch_interval,
-        num_executors=num_executors,
+    result = execute_cell(
+        "fixed_config",
+        {
+            "workload": workload,
+            "batch_interval": batch_interval,
+            "num_executors": num_executors,
+            "seed": seed,
+            "batches": batches,
+        },
     )
-    run = run_fixed_configuration(setup.context, batches=batches, warmup=5)
-    return run.mean_end_to_end_delay
+    return result["meanEndToEndDelay"]
+
+
+def fig7_optimize_spec(
+    workload: str,
+    repeats: int = 5,
+    rounds: int = 40,
+    base_seed: int = 1,
+    count_only: bool = False,
+) -> SweepSpec:
+    """Stage 1: the per-repeat NoStop optimization runs."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    return SweepSpec(
+        name=f"fig7-{workload}-optimize",
+        kind="nostop",
+        base={"workload": workload, "rounds": rounds, "count_only": count_only},
+        cases=[{"seed": s} for s in paper_repeat_seeds(base_seed, repeats)],
+    )
+
+
+def fig7_measure_spec(
+    workload: str,
+    reports: Sequence[dict],
+    base_seed: int = 1,
+    count_only: bool = False,
+) -> SweepSpec:
+    """Stage 2: steady-state measurement of the stage-1 outcomes.
+
+    Each repeat contributes two cells — NoStop's final configuration and
+    the untuned default — both measured with the repeat's ``seed + 7``,
+    exactly the sequential protocol.
+    """
+    cases = []
+    for rep, report in enumerate(reports):
+        seed = base_seed + 100 * rep + 7
+        cases.append(
+            {
+                "batch_interval": report["finalInterval"],
+                "num_executors": report["finalExecutors"],
+                "seed": seed,
+            }
+        )
+        cases.append(
+            {
+                "batch_interval": DEFAULT_CONFIGURATION.batch_interval,
+                "num_executors": DEFAULT_CONFIGURATION.num_executors,
+                "seed": seed,
+            }
+        )
+    return SweepSpec(
+        name=f"fig7-{workload}-measure",
+        kind="fixed_config",
+        base={
+            "workload": workload,
+            "batches": 40,
+            "warmup": 5,
+            "count_only": count_only,
+        },
+        cases=cases,
+    )
 
 
 def run_fig7_one(
@@ -91,31 +156,41 @@ def run_fig7_one(
     repeats: int = 5,
     rounds: int = 40,
     base_seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+    count_only: bool = False,
 ) -> WorkloadImprovement:
-    """Fig. 7 measurement for one workload."""
-    if repeats < 1:
-        raise ValueError("repeats must be >= 1")
+    """Fig. 7 measurement for one workload.
+
+    Two chained sweeps through the runner: the optimization repeats,
+    then the measurement cells their final configurations imply.
+    """
+    runner = runner or SweepRunner()
+    optimize = runner.run(
+        fig7_optimize_spec(
+            workload,
+            repeats=repeats,
+            rounds=rounds,
+            base_seed=base_seed,
+            count_only=count_only,
+        )
+    )
+    measure = runner.run(
+        fig7_measure_spec(
+            workload,
+            optimize.results,
+            base_seed=base_seed,
+            count_only=count_only,
+        )
+    )
     result = WorkloadImprovement(workload=workload)
-    for rep in range(repeats):
-        seed = base_seed + 100 * rep
-        setup = build_experiment(workload, seed=seed)
-        controller = make_controller(setup, seed=seed)
-        report = controller.run(rounds)
-        result.final_intervals.append(report.final_interval)
-        result.final_executors.append(report.final_executors)
+    for rep, report in enumerate(optimize.results):
+        result.final_intervals.append(report["finalInterval"])
+        result.final_executors.append(report["finalExecutors"])
         result.nostop_delays.append(
-            measure_configuration(
-                workload, report.final_interval, report.final_executors,
-                seed=seed + 7,
-            )
+            measure.results[2 * rep]["meanEndToEndDelay"]
         )
         result.default_delays.append(
-            measure_configuration(
-                workload,
-                DEFAULT_CONFIGURATION.batch_interval,
-                DEFAULT_CONFIGURATION.num_executors,
-                seed=seed + 7,
-            )
+            measure.results[2 * rep + 1]["meanEndToEndDelay"]
         )
     return result
 
@@ -125,12 +200,20 @@ def run_fig7(
     rounds: int = 40,
     base_seed: int = 1,
     workloads=PAPER_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
+    count_only: bool = False,
 ) -> Fig7Result:
     """Full Fig. 7 over the four paper workloads."""
+    runner = runner or SweepRunner()
     result = Fig7Result()
     for w in workloads:
         result.workloads[w] = run_fig7_one(
-            w, repeats=repeats, rounds=rounds, base_seed=base_seed
+            w,
+            repeats=repeats,
+            rounds=rounds,
+            base_seed=base_seed,
+            runner=runner,
+            count_only=count_only,
         )
     return result
 

@@ -17,15 +17,14 @@ configuration steps and less search time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.tables import format_table
-from repro.baselines.bayesian import run_bayesian_optimization
-from repro.core.metrics_collector import MetricsCollector
-from repro.core.pause import PauseRule
+from repro.runner import SweepRunner, SweepSpec
+from repro.runner.cells import execute_cell
 
-from .common import build_experiment, make_controller
+from .common import paper_repeat_seeds
 from .fig6_evolution import PAPER_WORKLOADS
 
 
@@ -83,55 +82,82 @@ class Fig8Result:
         )
 
 
-def run_spsa_once(workload: str, seed: int, rounds: int) -> OptimizerRun:
-    """One NoStop run measured on the Fig. 8 axes."""
-    setup = build_experiment(workload, seed=seed)
-    controller = make_controller(setup, seed=seed)
-    start_time = setup.system.time
-    report = controller.run(rounds)
-    converged = report.first_pause_round is not None
-    search_time = (
-        report.first_pause_time
-        if converged
-        else setup.system.time - start_time
-    )
-    steps = (
-        report.adjust_calls_to_pause
-        if converged
-        else controller.adjust.calls
-    )
-    best = controller.pause_rule.best_config()
+def _spsa_run_from_cell(result: dict) -> OptimizerRun:
     return OptimizerRun(
         optimizer="spsa",
-        final_delay=best.end_to_end_delay,
-        search_time=float(search_time),
-        config_steps=int(steps),
-        converged=converged,
+        final_delay=result["best"]["endToEndDelay"],
+        search_time=result["searchTime"],
+        config_steps=result["configSteps"],
+        converged=result["converged"],
+    )
+
+
+def _bo_run_from_cell(result: dict) -> OptimizerRun:
+    return OptimizerRun(
+        optimizer="bo",
+        final_delay=result["finalDelay"],
+        search_time=result["searchTime"],
+        config_steps=result["configSteps"],
+        converged=result["converged"],
+    )
+
+
+def run_spsa_once(workload: str, seed: int, rounds: int) -> OptimizerRun:
+    """One NoStop run measured on the Fig. 8 axes."""
+    return _spsa_run_from_cell(
+        execute_cell(
+            "nostop", {"workload": workload, "seed": seed, "rounds": rounds}
+        )
     )
 
 
 def run_bo_once(workload: str, seed: int, max_evaluations: int) -> OptimizerRun:
     """One Bayesian-optimization run measured on the Fig. 8 axes."""
-    setup = build_experiment(workload, seed=seed)
-    report = run_bayesian_optimization(
-        setup.system,
-        setup.scaler,
-        max_evaluations=max_evaluations,
-        seed=seed,
-        pause_rule=PauseRule(),
-        collector=MetricsCollector(),
+    return _bo_run_from_cell(
+        execute_cell(
+            "bo",
+            {
+                "workload": workload,
+                "seed": seed,
+                "max_evaluations": max_evaluations,
+            },
+        )
     )
-    final_delay = (
-        report.final_delay
-        if report.final_delay is not None
-        else report.best().end_to_end_delay
+
+
+def fig8_spsa_spec(
+    workload: str,
+    repeats: int = 5,
+    rounds: int = 40,
+    base_seed: int = 1,
+    count_only: bool = False,
+) -> SweepSpec:
+    """The NoStop side of the Fig. 8 comparison (one cell per repeat)."""
+    return SweepSpec(
+        name=f"fig8-{workload}-spsa",
+        kind="nostop",
+        base={"workload": workload, "rounds": rounds, "count_only": count_only},
+        cases=[{"seed": s} for s in paper_repeat_seeds(base_seed, repeats)],
     )
-    return OptimizerRun(
-        optimizer="bo",
-        final_delay=final_delay,
-        search_time=float(report.search_time or 0.0),
-        config_steps=report.config_steps,
-        converged=report.converged_at is not None,
+
+
+def fig8_bo_spec(
+    workload: str,
+    repeats: int = 5,
+    bo_evaluations: int = 80,
+    base_seed: int = 1,
+    count_only: bool = False,
+) -> SweepSpec:
+    """The Bayesian-optimization side of the Fig. 8 comparison."""
+    return SweepSpec(
+        name=f"fig8-{workload}-bo",
+        kind="bo",
+        base={
+            "workload": workload,
+            "max_evaluations": bo_evaluations,
+            "count_only": count_only,
+        },
+        cases=[{"seed": s} for s in paper_repeat_seeds(base_seed, repeats)],
     )
 
 
@@ -141,6 +167,8 @@ def run_fig8_one(
     rounds: int = 40,
     bo_evaluations: int = 80,
     base_seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+    count_only: bool = False,
 ) -> WorkloadComparison:
     """SPSA-vs-BO repeats for one workload.
 
@@ -148,11 +176,28 @@ def run_fig8_one(
     consumes (2 per round x ``rounds``) so neither side gets extra
     system time.
     """
+    runner = runner or SweepRunner()
+    spsa = runner.run(
+        fig8_spsa_spec(
+            workload,
+            repeats=repeats,
+            rounds=rounds,
+            base_seed=base_seed,
+            count_only=count_only,
+        )
+    )
+    bo = runner.run(
+        fig8_bo_spec(
+            workload,
+            repeats=repeats,
+            bo_evaluations=bo_evaluations,
+            base_seed=base_seed,
+            count_only=count_only,
+        )
+    )
     cmp_ = WorkloadComparison(workload=workload)
-    for rep in range(repeats):
-        seed = base_seed + 100 * rep
-        cmp_.spsa.append(run_spsa_once(workload, seed, rounds))
-        cmp_.bo.append(run_bo_once(workload, seed, bo_evaluations))
+    cmp_.spsa.extend(_spsa_run_from_cell(r) for r in spsa.results)
+    cmp_.bo.extend(_bo_run_from_cell(r) for r in bo.results)
     return cmp_
 
 
@@ -162,8 +207,11 @@ def run_fig8(
     bo_evaluations: int = 80,
     base_seed: int = 1,
     workloads=PAPER_WORKLOADS,
+    runner: Optional[SweepRunner] = None,
+    count_only: bool = False,
 ) -> Fig8Result:
     """Full Fig. 8 over the four paper workloads."""
+    runner = runner or SweepRunner()
     result = Fig8Result()
     for w in workloads:
         result.workloads[w] = run_fig8_one(
@@ -172,6 +220,8 @@ def run_fig8(
             rounds=rounds,
             bo_evaluations=bo_evaluations,
             base_seed=base_seed,
+            runner=runner,
+            count_only=count_only,
         )
     return result
 

@@ -10,6 +10,15 @@ production interval.
 Lookups are O(log n) via binary search over parallel segment arrays —
 the receiver polls every batch boundary for the lifetime of a run, so
 linear scans here would dominate whole-experiment cost.
+
+Appends *coalesce*: a segment that is exactly contiguous with the tail
+segment and carries exactly the same arrival rate extends it in place
+instead of growing the arrays.  A constant-rate producer ticking once a
+second therefore keeps the log at one segment per rate change rather
+than one per tick, which keeps :meth:`Partition.mean_arrival_time` (run
+per partition per batch) away from long segment scans.  Interpolation
+inside a merged segment is identical to the per-tick answer because the
+per-record spacing is unchanged.
 """
 
 from __future__ import annotations
@@ -58,6 +67,7 @@ class Partition:
         self._bases: List[int] = []
         self._end_offset = 0
         self._last_t1 = 0.0
+        self._nonempty_appends = 0
 
     @property
     def end_offset(self) -> int:
@@ -68,6 +78,16 @@ class Partition:
     def segment_count(self) -> int:
         """Number of non-empty segments (O(1), unlike ``segments``)."""
         return len(self._counts)
+
+    @property
+    def nonempty_appends(self) -> int:
+        """Non-empty :meth:`append` calls so far (>= ``segment_count``).
+
+        Unlike ``segment_count`` this is unaffected by coalescing, so it
+        is a stable rotation key for round-robining remainders across
+        partitions (see :meth:`repro.kafka.topic.Topic.append_uniform`).
+        """
+        return self._nonempty_appends
 
     @property
     def segments(self) -> Tuple[Segment, ...]:
@@ -90,6 +110,22 @@ class Partition:
         self._last_t1 = max(self._last_t1, t1)
         if count == 0:
             return
+        self._nonempty_appends += 1
+        if self._counts:
+            pt0 = self._t0[-1]
+            pt1 = self._t1[-1]
+            pcount = self._counts[-1]
+            # Coalesce a contiguous same-rate extension.  Exact float
+            # equality on purpose: the per-tick producer reuses the
+            # previous tick's end as the next start, and cross-multiplied
+            # rates are equal without division error when the tick counts
+            # and durations repeat — any other append keeps its own
+            # segment so interpolation never changes.
+            if t0 == pt1 and count * (pt1 - pt0) == pcount * (t1 - t0):
+                self._t1[-1] = t1
+                self._counts[-1] = pcount + count
+                self._end_offset += count
+                return
         self._t0.append(t0)
         self._t1.append(t1)
         self._counts.append(count)

@@ -31,6 +31,7 @@ class RateControlledProducer:
         trace: RateTrace,
         tick: float = 1.0,
         rate_cap: Optional[float] = None,
+        count_only: bool = False,
     ) -> None:
         if tick <= 0:
             raise ValueError(f"tick must be positive, got {tick}")
@@ -40,6 +41,14 @@ class RateControlledProducer:
         self.trace = trace
         self.tick = float(tick)
         self.rate_cap = rate_cap
+        #: Count-only fast path: materialize one segment per constant-rate
+        #: span (via :meth:`RateTrace.constant_until`) instead of one per
+        #: tick.  Topic-wide totals follow the trace integral exactly; the
+        #: tick-level quantization of the default path is skipped, so the
+        #: two modes are each deterministic but not byte-identical to one
+        #: another.  Meant for cost-model-driven runs that never execute
+        #: workload kernels (the sweep runner's cells).
+        self.count_only = bool(count_only)
         self.surge = 1.0
         self._produced_until = 0.0
         self.total_produced = 0
@@ -95,7 +104,13 @@ class RateControlledProducer:
         produced = 0
         while self._produced_until + 1e-12 < t:
             t0 = self._produced_until
-            t1 = min(t0 + self.tick, t)
+            if self.count_only:
+                # One production span per constant-rate region, but never
+                # shorter than a tick (sub-tick regions integrate across
+                # their boundary exactly as the default path does).
+                t1 = min(t, max(self.trace.constant_until(t0), t0 + self.tick))
+            else:
+                t1 = min(t0 + self.tick, t)
             want = self.trace.records_between(t0, t1)
             if self.surge != 1.0:
                 want = int(round(want * self.surge))

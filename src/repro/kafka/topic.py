@@ -50,7 +50,9 @@ class Topic:
             raise ValueError(f"count must be >= 0, got {count}")
         n = self.num_partitions
         base, rem = divmod(count, n)
-        start = self.partitions[0].segment_count  # rotation key
+        # Rotation key: non-empty appends to partition 0 (coalescing-proof,
+        # and identical to the pre-coalescing segment count).
+        start = self.partitions[0].nonempty_appends
         for i, p in enumerate(self.partitions):
             extra = 1 if (i - start) % n < rem else 0
             p.append(t0, t1, base + extra)

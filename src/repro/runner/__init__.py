@@ -1,0 +1,32 @@
+"""Parallel sweep runner with a deterministic result cache.
+
+The experiment layer's execution engine: declarative sweep specs
+(:mod:`~repro.runner.spec`) expand into pure simulation cells
+(:mod:`~repro.runner.cells`), which a :class:`SweepRunner` serves from
+a content-addressed on-disk cache (:mod:`~repro.runner.cache`) or fans
+out over worker processes — parallel results bit-identical to
+sequential, reruns of unchanged sweeps free.  See DESIGN.md §12.
+"""
+
+from .cache import CACHE_ENV, ResultCache, default_cache_dir, substrate_version_tag
+from .cells import cell_kinds, execute_cell, register_cell
+from .runner import SweepResult, SweepRunner, SweepStats, run_sweep
+from .spec import SweepCell, SweepSpec, canonical_json, spawn_seeds
+
+__all__ = [
+    "CACHE_ENV",
+    "ResultCache",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStats",
+    "canonical_json",
+    "cell_kinds",
+    "default_cache_dir",
+    "execute_cell",
+    "register_cell",
+    "run_sweep",
+    "spawn_seeds",
+    "substrate_version_tag",
+]

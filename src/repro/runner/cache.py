@@ -1,0 +1,154 @@
+"""Content-addressed result cache for sweep cells.
+
+Every cell result is stored under a key derived from *what was run*:
+
+    sha256(canonical_json({kind, params, version}))
+
+where ``version`` is the *substrate version tag* — a hash over the
+source bytes of the whole ``repro`` package.  Any change to the
+simulator (a scheduler tweak, a calibration constant, a bug fix)
+changes the tag, which invalidates every cached cell at once; rerunning
+an unchanged sweep on an unchanged substrate is a 100% cache hit and
+executes zero simulations.
+
+Invalidation rules (documented in DESIGN.md §12):
+
+* different parameters → different key (content addressing);
+* different ``repro`` source → different version tag → miss;
+* ``--no-cache`` bypasses reads but still writes fresh results;
+* ``clear()`` (CLI ``--clear-cache``) removes every entry;
+* a corrupt or unreadable entry is treated as a miss and deleted.
+
+Entries are plain JSON files, two-level fanned out by key prefix, so
+the cache is inspectable with nothing but ``cat`` and survives
+concurrent writers (writes go through a unique temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from .spec import SweepCell, canonical_json
+
+#: Environment override for the default cache root.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+_VERSION_TAG: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+def _iter_package_sources(root: Path) -> Iterator[Path]:
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" not in path.parts:
+            yield path
+
+
+def substrate_version_tag(refresh: bool = False) -> str:
+    """Hash of the ``repro`` package sources (memoized per process).
+
+    The tag covers every ``.py`` file under the installed package root,
+    path-and-content, so cached results can never silently survive a
+    simulator change.
+    """
+    global _VERSION_TAG
+    if _VERSION_TAG is not None and not refresh:
+        return _VERSION_TAG
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in _iter_package_sources(root):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _VERSION_TAG = digest.hexdigest()
+    return _VERSION_TAG
+
+
+class ResultCache:
+    """On-disk cell-result cache keyed by (kind, params, substrate)."""
+
+    def __init__(
+        self,
+        root: Optional[Path] = None,
+        version_tag: Optional[str] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version_tag = version_tag or substrate_version_tag()
+
+    def key(self, cell: SweepCell) -> str:
+        payload = canonical_json(
+            {
+                "kind": cell.kind,
+                "params": cell.param_dict,
+                "version": self.version_tag,
+            }
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, cell: SweepCell) -> Optional[Dict[str, Any]]:
+        """Cached result for ``cell``, or None; corrupt entries vanish."""
+        path = self._path(self.key(cell))
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            return entry["result"]
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable or malformed: drop it so the slot heals itself.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, cell: SweepCell, result: Dict[str, Any]) -> Path:
+        """Persist ``result`` atomically; returns the entry path."""
+        key = self.key(cell)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "kind": cell.kind,
+            "params": cell.param_dict,
+            "version": self.version_tag,
+            "result": result,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,264 @@
+"""Sweep cell kinds.
+
+A *cell kind* is a named, pure function ``params -> JSON dict``: it
+builds a fresh deployment from its parameters, runs it, and returns
+plain data.  Purity is the contract that makes the sweep runner correct
+— because a cell's result depends only on its parameter dict, executing
+cells across processes is bit-identical to executing them sequentially,
+and results can be cached content-addressed on the parameters alone.
+
+The built-in kinds cover every figure driver and ablation benchmark:
+
+* ``fixed_config`` — steady-state metrics of one fixed configuration
+  (Figs. 2, 3, and the Fig. 7 measurement stage);
+* ``nostop`` — one NoStop optimization run with the Fig. 7/8
+  measurements and optional gain/collector-window overrides (the
+  ablation benchmarks ride on these);
+* ``bo`` — one Bayesian-optimization baseline run (Fig. 8);
+* ``rate_series`` — sampled input-rate trace (Fig. 5).
+
+Every simulation-backed result carries ``batchesExecuted`` — the number
+of micro-batches the cell actually simulated — so cache-hit claims are
+verifiable: a fully cached sweep reports zero batches executed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+CellFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+_REGISTRY: Dict[str, CellFn] = {}
+
+
+def register_cell(kind: str) -> Callable[[CellFn], CellFn]:
+    """Register a cell kind; kinds are global and must be unique."""
+
+    def wrap(fn: CellFn) -> CellFn:
+        if kind in _REGISTRY:
+            raise ValueError(f"cell kind {kind!r} already registered")
+        _REGISTRY[kind] = fn
+        return fn
+
+    return wrap
+
+
+def cell_kinds() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def execute_cell(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell; the module-level entry point worker processes use."""
+    try:
+        fn = _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell kind {kind!r}; expected one of {cell_kinds()}"
+        ) from None
+    return fn(dict(params))
+
+
+def _pop(params: Dict[str, Any], key: str, default: Any) -> Any:
+    value = params.pop(key, default)
+    return default if value is None else value
+
+
+def _delay_series(setup) -> List[float]:
+    return [b.end_to_end_delay for b in setup.context.listener.metrics.batches]
+
+
+@register_cell("fixed_config")
+def _fixed_config_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Steady-state run of one fixed (interval, executors) point."""
+    from repro.baselines.fixed import run_fixed_configuration
+    from repro.experiments.common import build_experiment
+
+    workload = params.pop("workload")
+    seed = int(params.pop("seed"))
+    interval = float(params.pop("batch_interval"))
+    executors = int(params.pop("num_executors"))
+    batches = int(_pop(params, "batches", 40))
+    warmup = int(_pop(params, "warmup", 5))
+    max_executors = int(_pop(params, "max_executors", 20))
+    count_only = bool(_pop(params, "count_only", False))
+    if params:
+        raise TypeError(f"fixed_config: unknown params {sorted(params)}")
+
+    setup = build_experiment(
+        workload,
+        seed=seed,
+        batch_interval=interval,
+        num_executors=executors,
+        max_executors=max_executors,
+        count_only=count_only,
+    )
+    run = run_fixed_configuration(setup.context, batches=batches, warmup=warmup)
+    return {
+        "workload": workload,
+        "batchInterval": interval,
+        "numExecutors": executors,
+        "meanEndToEndDelay": run.mean_end_to_end_delay,
+        "meanProcessingTime": run.mean_processing_time,
+        "meanSchedulingDelay": run.mean_scheduling_delay,
+        "unstableFraction": run.unstable_fraction,
+        "p50EndToEndDelay": run.p50_end_to_end_delay,
+        "p95EndToEndDelay": run.p95_end_to_end_delay,
+        "p99EndToEndDelay": run.p99_end_to_end_delay,
+        "batches": run.batches,
+        "delaySeries": _delay_series(setup),
+        "batchesExecuted": len(setup.context.listener.metrics),
+    }
+
+
+def _resolve_gains(spec: Any, scaler, rounds: int):
+    """Turn a JSON gains spec into a GainSchedule (None = paper gains)."""
+    from repro.core.gains import GainSchedule
+
+    if spec is None:
+        return None
+    if isinstance(spec, dict) and "suggest" in spec:
+        from repro.core.tuning import suggest_gains
+
+        opts = dict(spec["suggest"] or {})
+        return suggest_gains(
+            scaler.scaled,
+            expected_iterations=int(opts.pop("expected_iterations", rounds)),
+            **opts,
+        )
+    if isinstance(spec, dict):
+        return GainSchedule(**spec)
+    raise TypeError(f"gains spec must be a dict or None, got {spec!r}")
+
+
+@register_cell("nostop")
+def _nostop_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One NoStop run reporting the Fig. 7 and Fig. 8 measurements."""
+    from repro.core.metrics_collector import MetricsCollector
+    from repro.experiments.common import build_experiment, make_controller
+
+    workload = params.pop("workload")
+    seed = int(params.pop("seed"))
+    rounds = int(_pop(params, "rounds", 40))
+    gains_spec = params.pop("gains", None)
+    collector_window = params.pop("collector_window", None)
+    collector_max_window = params.pop("collector_max_window", None)
+    count_only = bool(_pop(params, "count_only", False))
+    if params:
+        raise TypeError(f"nostop: unknown params {sorted(params)}")
+
+    setup = build_experiment(workload, seed=seed, count_only=count_only)
+    gains = _resolve_gains(gains_spec, setup.scaler, rounds)
+    controller = make_controller(setup, seed=seed, gains=gains)
+    if collector_window is not None:
+        window = int(collector_window)
+        max_window = (
+            int(collector_max_window)
+            if collector_max_window is not None
+            else max(12, window)
+        )
+        controller.collector = MetricsCollector(
+            window=window, max_window=max_window
+        )
+        controller.adjust.collector = controller.collector
+    start_time = setup.system.time
+    report = controller.run(rounds)
+    converged = report.first_pause_round is not None
+    search_time = (
+        report.first_pause_time
+        if converged
+        else setup.system.time - start_time
+    )
+    config_steps = (
+        report.adjust_calls_to_pause if converged else controller.adjust.calls
+    )
+    best = controller.pause_rule.best_config()
+    return {
+        "workload": workload,
+        "rounds": rounds,
+        "finalInterval": report.final_interval,
+        "finalExecutors": report.final_executors,
+        "configChanges": report.config_changes,
+        "resets": report.resets,
+        "converged": converged,
+        "firstPauseRound": report.first_pause_round,
+        "searchTime": float(search_time),
+        "configSteps": int(config_steps),
+        "best": {
+            "batchInterval": best.batch_interval,
+            "numExecutors": best.num_executors,
+            "endToEndDelay": best.end_to_end_delay,
+            "meanProcessingTime": best.mean_processing_time,
+            "objective": best.objective,
+            "stable": best.stable,
+        },
+        "simTime": setup.system.time - start_time,
+        "delaySeries": _delay_series(setup),
+        "batchesExecuted": len(setup.context.listener.metrics),
+    }
+
+
+@register_cell("bo")
+def _bo_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One Bayesian-optimization baseline run (Fig. 8 comparison)."""
+    from repro.baselines.bayesian import run_bayesian_optimization
+    from repro.core.metrics_collector import MetricsCollector
+    from repro.core.pause import PauseRule
+    from repro.experiments.common import build_experiment
+
+    workload = params.pop("workload")
+    seed = int(params.pop("seed"))
+    max_evaluations = int(_pop(params, "max_evaluations", 80))
+    count_only = bool(_pop(params, "count_only", False))
+    if params:
+        raise TypeError(f"bo: unknown params {sorted(params)}")
+
+    setup = build_experiment(workload, seed=seed, count_only=count_only)
+    report = run_bayesian_optimization(
+        setup.system,
+        setup.scaler,
+        max_evaluations=max_evaluations,
+        seed=seed,
+        pause_rule=PauseRule(),
+        collector=MetricsCollector(),
+    )
+    final_delay = (
+        report.final_delay
+        if report.final_delay is not None
+        else report.best().end_to_end_delay
+    )
+    return {
+        "workload": workload,
+        "finalDelay": final_delay,
+        "searchTime": float(report.search_time or 0.0),
+        "configSteps": report.config_steps,
+        "converged": report.converged_at is not None,
+        "batchesExecuted": len(setup.context.listener.metrics),
+    }
+
+
+@register_cell("rate_series")
+def _rate_series_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Sample one workload's paper rate trace (Fig. 5)."""
+    import numpy as np
+
+    from repro.datagen.rates import PAPER_RATE_BANDS, RATE_BAND_ALIASES, paper_rate_trace
+
+    workload = params.pop("workload")
+    seed = int(params.pop("seed"))
+    duration = float(_pop(params, "duration", 600.0))
+    dt = float(_pop(params, "dt", 5.0))
+    if params:
+        raise TypeError(f"rate_series: unknown params {sorted(params)}")
+    if duration <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+
+    trace = paper_rate_trace(workload, seed=seed)
+    band = PAPER_RATE_BANDS[RATE_BAND_ALIASES.get(workload, workload)]
+    times = [float(t) for t in np.arange(0.0, duration, dt)]
+    return {
+        "workload": workload,
+        "band": list(band),
+        "times": times,
+        "rates": [trace.rate(t) for t in times],
+        "batchesExecuted": 0,
+    }

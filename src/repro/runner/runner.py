@@ -1,0 +1,196 @@
+"""The sweep runner: cache-aware fan-out over sweep cells.
+
+``SweepRunner`` expands a :class:`~repro.runner.spec.SweepSpec` into
+cells, serves what it can from the content-addressed
+:class:`~repro.runner.cache.ResultCache`, and executes the rest —
+in-process when ``workers <= 1``, across a ``ProcessPoolExecutor``
+otherwise.  Results always come back **in spec order** and are
+bit-identical regardless of worker count, because every cell is a pure
+function of its parameter dict (see :mod:`repro.runner.cells`); the
+determinism suite asserts exactly this.
+
+Cache traffic is accounted through the standard metrics registry
+(``repro_runner_*`` instruments) so sweeps show up in telemetry next to
+the substrate's own counters.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
+from repro.obs.tracer import Telemetry
+
+from .cache import ResultCache
+from .cells import execute_cell
+from .spec import SweepCell, SweepSpec
+
+
+def _execute_indexed(
+    payload: Tuple[int, str, Dict[str, Any]],
+) -> Tuple[int, Dict[str, Any]]:
+    """Worker entry point: run one cell, echoing its spec index."""
+    index, kind, params = payload
+    return index, execute_cell(kind, params)
+
+
+@dataclass
+class SweepStats:
+    """Cache and execution accounting for one sweep run."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0
+    batches_executed: int = 0
+    """Micro-batches simulated across executed cells (0 on a fully
+    cached rerun — the verifiable 'zero simulations' claim)."""
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Sweep outcome: per-cell results in spec order, plus accounting."""
+
+    spec: SweepSpec
+    cells: List[SweepCell]
+    results: List[Dict[str, Any]]
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class SweepRunner:
+    """Execute sweep specs with caching and optional process fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes for cell execution; ``<= 1`` runs in-process.
+        Results are identical either way — the knob trades wall-clock
+        only.
+    cache:
+        Result cache; ``None`` disables persistence entirely.
+    use_cache:
+        When False, cached entries are ignored on read (``--no-cache``)
+        but fresh results are still written for the next run.
+    telemetry:
+        Metrics destination; defaults to the no-op registry.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.cache = cache
+        self.use_cache = use_cache
+        registry: MetricsRegistry = (
+            telemetry.metrics if telemetry is not None else NOOP_REGISTRY
+        )
+        self._m_cells = registry.counter(
+            "repro_runner_cells_total", "Sweep cells processed"
+        )
+        self._m_hits = registry.counter(
+            "repro_runner_cache_hits_total", "Sweep cells served from cache"
+        )
+        self._m_misses = registry.counter(
+            "repro_runner_cache_misses_total", "Sweep cells not in cache"
+        )
+        self._m_executed = registry.counter(
+            "repro_runner_cells_executed_total", "Sweep cells simulated"
+        )
+        self._m_seconds = registry.histogram(
+            "repro_runner_sweep_seconds", "Wall-clock per sweep run"
+        )
+        #: Accumulated accounting across every ``run()`` on this runner
+        #: (multi-stage drivers like Fig. 7 call it several times).
+        self.totals = SweepStats(workers=self.workers)
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Expand, serve from cache, execute the rest, reassemble."""
+        t0 = time.perf_counter()
+        cells = spec.expand()
+        results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+        stats = SweepStats(cells=len(cells), workers=self.workers)
+        self._m_cells.inc(len(cells))
+
+        pending: List[SweepCell] = []
+        for cell in cells:
+            cached = (
+                self.cache.get(cell)
+                if (self.cache is not None and self.use_cache)
+                else None
+            )
+            if cached is not None:
+                results[cell.index] = cached
+                stats.cache_hits += 1
+            else:
+                pending.append(cell)
+                stats.cache_misses += 1
+        self._m_hits.inc(stats.cache_hits)
+        self._m_misses.inc(stats.cache_misses)
+
+        for index, result in self._execute(pending):
+            results[index] = result
+            stats.executed += 1
+            stats.batches_executed += int(result.get("batchesExecuted", 0))
+            if self.cache is not None:
+                self.cache.put(cells[index], result)
+        self._m_executed.inc(stats.executed)
+
+        stats.wall_seconds = time.perf_counter() - t0
+        self._m_seconds.observe(stats.wall_seconds)
+        self.totals.cells += stats.cells
+        self.totals.cache_hits += stats.cache_hits
+        self.totals.cache_misses += stats.cache_misses
+        self.totals.executed += stats.executed
+        self.totals.batches_executed += stats.batches_executed
+        self.totals.wall_seconds += stats.wall_seconds
+        return SweepResult(
+            spec=spec,
+            cells=cells,
+            results=results,  # type: ignore[arg-type]
+            stats=stats,
+        )
+
+    def _execute(
+        self, pending: List[SweepCell]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        payloads = [(c.index, c.kind, c.param_dict) for c in pending]
+        if not payloads:
+            return []
+        if self.workers == 1 or len(payloads) == 1:
+            return [_execute_indexed(p) for p in payloads]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(_execute_indexed, payloads))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    telemetry: Optional[Telemetry] = None,
+) -> SweepResult:
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(
+        workers=workers,
+        cache=cache,
+        use_cache=use_cache,
+        telemetry=telemetry,
+    ).run(spec)

@@ -1,0 +1,145 @@
+"""Declarative sweep specifications.
+
+A sweep is a grid (or explicit case list) of simulation cells — one
+fresh deployment per cell, exactly the "each point is a fresh
+deployment" protocol every figure driver already follows.  The spec is
+pure data: expanding it yields an ordered list of :class:`SweepCell`
+whose parameters fully determine the result, which is what makes the
+cells safe to execute in any order (or any process) and safe to cache
+content-addressed.
+
+Seeding follows two protocols:
+
+* **pinned** — a cell whose params carry an explicit ``seed`` keeps it;
+  the paper's repeat protocols (``base_seed + 100 * rep``,
+  measurement seeds offset by ``+7``) stay byte-for-byte intact;
+* **spawned** — when ``base_seed`` is set on the spec, cells without a
+  pinned seed get one derived via ``np.random.SeedSequence.spawn``:
+  statistically independent streams, stable under re-expansion, and
+  independent of execution order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON rendering used for cell identity and hashing."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def spawn_seeds(base_seed: int, n: int) -> List[int]:
+    """``n`` independent integer seeds derived from ``base_seed``.
+
+    Uses ``SeedSequence.spawn`` so the streams are provably independent;
+    the i-th seed depends only on ``(base_seed, i)``, never on how many
+    workers execute the sweep or in which order.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    children = np.random.SeedSequence(base_seed).spawn(n)
+    return [int(c.generate_state(1, dtype=np.uint32)[0]) for c in children]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a cell kind plus its full parameter set."""
+
+    index: int
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    @staticmethod
+    def make(index: int, kind: str, params: Mapping[str, Any]) -> "SweepCell":
+        return SweepCell(
+            index=index,
+            kind=kind,
+            params=tuple(sorted(params.items())),
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def canonical(self) -> str:
+        """Canonical identity string (cache key input, sans version)."""
+        return canonical_json({"kind": self.kind, "params": self.param_dict})
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: kind × base params × grid/cases × seeds.
+
+    Parameters
+    ----------
+    name:
+        Display name (cache-irrelevant; cells hash on kind+params only).
+    kind:
+        Registered cell kind (see :mod:`repro.runner.cells`).
+    base:
+        Parameters shared by every cell.
+    grid:
+        ``param -> sequence of values``; cells are the cross product in
+        key insertion order (outer-to-inner), values in given order.
+    cases:
+        Explicit per-cell parameter dicts, appended after the grid
+        product (use for dependent second-stage sweeps, e.g. measuring
+        the configurations a first-stage optimizer run produced).
+    base_seed:
+        When set, cells that do not pin ``seed`` get a spawned one.
+    """
+
+    name: str
+    kind: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    cases: Sequence[Mapping[str, Any]] = field(default_factory=tuple)
+    base_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("spec needs a cell kind")
+        for key, values in self.grid.items():
+            if not isinstance(values, (list, tuple)):
+                raise TypeError(
+                    f"grid[{key!r}] must be a list/tuple of values, "
+                    f"got {type(values).__name__}"
+                )
+            if not values:
+                raise ValueError(f"grid[{key!r}] is empty")
+
+    def _raw_param_sets(self) -> List[Dict[str, Any]]:
+        sets: List[Dict[str, Any]] = []
+        if self.grid:
+            keys = list(self.grid.keys())
+            for combo in itertools.product(*(self.grid[k] for k in keys)):
+                sets.append({**self.base, **dict(zip(keys, combo))})
+        elif not self.cases:
+            sets.append(dict(self.base))
+        for case in self.cases:
+            sets.append({**self.base, **case})
+        return sets
+
+    def expand(self) -> List[SweepCell]:
+        """Materialize the ordered cell list, resolving seeds."""
+        sets = self._raw_param_sets()
+        if self.base_seed is not None:
+            seeds = spawn_seeds(self.base_seed, len(sets))
+            for i, params in enumerate(sets):
+                if "seed" not in params:
+                    params["seed"] = seeds[i]
+        return [
+            SweepCell.make(i, self.kind, params)
+            for i, params in enumerate(sets)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._raw_param_sets())

@@ -32,6 +32,11 @@ class StreamingListener:
     def __init__(self, telemetry: Optional[Telemetry] = None) -> None:
         self.metrics = StreamingMetrics()
         self._subscribers: List[BatchCallback] = []
+        # Immutable fan-out snapshot, rebuilt on (un)subscribe.  Dispatch
+        # happens once per batch on the hot path; copying the subscriber
+        # list there cost an allocation per batch for a list that almost
+        # never changes.
+        self._fanout: tuple = ()
         self.telemetry = telemetry or NOOP_TELEMETRY
         registry = self.telemetry.metrics
         self._m_batches = registry.counter(
@@ -63,6 +68,7 @@ class StreamingListener:
     def subscribe(self, callback: BatchCallback) -> None:
         """Register a per-batch callback (NoStop's metric collector)."""
         self._subscribers.append(callback)
+        self._fanout = tuple(self._subscribers)
 
     def watch(self, observer) -> None:
         """Attach a judge-style observer (anything with ``observe_batch``).
@@ -89,6 +95,8 @@ class StreamingListener:
             self._subscribers.remove(callback)
         except ValueError:
             pass
+        else:
+            self._fanout = tuple(self._subscribers)
 
     def on_batch_completed(self, info: BatchInfo) -> None:
         """Record a completed batch and fan out to subscribers.
@@ -107,7 +115,7 @@ class StreamingListener:
             self._m_sched.observe(info.scheduling_delay)
             self._m_e2e.observe(info.end_to_end_delay)
             self._m_batch_records.observe(info.records)
-        for cb in list(self._subscribers):
+        for cb in self._fanout:
             cb(info)
 
     # -- status reports -------------------------------------------------

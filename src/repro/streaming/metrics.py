@@ -16,8 +16,29 @@ Definitions follow the paper exactly:
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile_sorted(s: Sequence[float], q: float) -> float:
+    """Exact ``q``-quantile of an *already sorted* sample.
+
+    The workhorse behind :func:`percentile` and the cached views in
+    :class:`StreamingMetrics`: callers that maintain a sorted series pay
+    O(1) per query instead of re-sorting the full history every call.
+    """
+    if not s:
+        raise ValueError("no values to take a percentile of")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(s) == 1:
+        return s[0]
+    pos = q * (len(s) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(s) - 1)
+    frac = pos - lo
+    return s[lo] + (s[hi] - s[lo]) * frac
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -30,23 +51,17 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not values:
         raise ValueError("no values to take a percentile of")
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"quantile must be in [0, 1], got {q}")
-    s = sorted(float(v) for v in values)
-    if len(s) == 1:
-        return s[0]
-    pos = q * (len(s) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(s) - 1)
-    frac = pos - lo
-    return s[lo] + (s[hi] - s[lo]) * frac
+    return percentile_sorted(sorted(float(v) for v in values), q)
 
 
 def percentiles(
     values: Sequence[float], qs: Sequence[float] = (0.5, 0.95, 0.99)
 ) -> Tuple[float, ...]:
     """The usual report triple (p50, p95, p99) in one call."""
-    return tuple(percentile(values, q) for q in qs)
+    if not values:
+        raise ValueError("no values to take a percentile of")
+    s = sorted(float(v) for v in values)
+    return tuple(percentile_sorted(s, q) for q in qs)
 
 
 @dataclass(frozen=True)
@@ -118,9 +133,20 @@ class BatchInfo:
 
 @dataclass
 class StreamingMetrics:
-    """Rolling aggregate over processed batches."""
+    """Rolling aggregate over processed batches.
+
+    Percentile queries run against lazily-synchronized sorted views of
+    the processing-time and end-to-end-delay series: new batches are
+    merged in with ``bisect.insort`` on the next query instead of
+    re-sorting the full history on every call — controllers that poll
+    tail delay each round stay O(log n) per batch instead of
+    O(n log n).
+    """
 
     batches: List[BatchInfo] = field(default_factory=list)
+    _pt_sorted: List[float] = field(default_factory=list, repr=False, compare=False)
+    _delay_sorted: List[float] = field(default_factory=list, repr=False, compare=False)
+    _sorted_upto: int = field(default=0, repr=False, compare=False)
 
     def record(self, info: BatchInfo) -> None:
         if self.batches and info.batch_index <= self.batches[-1].batch_index:
@@ -129,6 +155,20 @@ class StreamingMetrics:
                 f"(last was {self.batches[-1].batch_index})"
             )
         self.batches.append(info)
+
+    def _sorted_views(self) -> Tuple[List[float], List[float]]:
+        """Sorted processing-time / end-to-end-delay series, synced."""
+        n = len(self.batches)
+        if self._sorted_upto > n:
+            # batches was truncated/replaced externally — rebuild.
+            self._pt_sorted = sorted(b.processing_time for b in self.batches)
+            self._delay_sorted = sorted(b.end_to_end_delay for b in self.batches)
+        else:
+            for b in self.batches[self._sorted_upto:]:
+                insort(self._pt_sorted, b.processing_time)
+                insort(self._delay_sorted, b.end_to_end_delay)
+        self._sorted_upto = n
+        return self._pt_sorted, self._delay_sorted
 
     def __len__(self) -> int:
         return len(self.batches)
@@ -155,16 +195,21 @@ class StreamingMetrics:
         return sum(b.end_to_end_delay for b in batch) / len(batch)
 
     def processing_time_percentile(self, q: float) -> float:
-        return percentile([b.processing_time for b in self.batches], q)
+        pt, _ = self._sorted_views()
+        return percentile_sorted(pt, q)
 
     def end_to_end_delay_percentile(self, q: float) -> float:
-        return percentile([b.end_to_end_delay for b in self.batches], q)
+        _, delays = self._sorted_views()
+        return percentile_sorted(delays, q)
 
     def delay_percentiles(
         self, qs: Sequence[float] = (0.5, 0.95, 0.99)
     ) -> Tuple[float, ...]:
         """Tail view of end-to-end delay — mean alone hides instability."""
-        return percentiles([b.end_to_end_delay for b in self.batches], qs)
+        _, delays = self._sorted_views()
+        if not delays:
+            raise ValueError("no values to take a percentile of")
+        return tuple(percentile_sorted(delays, q) for q in qs)
 
     def total_records(self) -> int:
         return sum(b.records for b in self.batches)

@@ -57,3 +57,55 @@ class TestCommands:
     def test_unknown_figure_errors(self, capsys):
         assert main(["figure", "fig99"]) == 2
         assert "unknown figure" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_fig5_runs_and_reports_stats(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        assert main(["sweep", "fig5", "--cache-dir", str(tmp_path / "c"),
+                     "--json", str(stats_path)]) == 0
+        captured = capsys.readouterr()
+        assert "input data rates" in captured.out
+        assert "cache hits" in captured.err
+        stats = json.loads(stats_path.read_text())
+        assert stats["cells"] == 4
+        assert stats["executed"] == 4
+        assert stats["cacheHits"] == 0
+        assert stats["versionTag"]
+
+    def test_sweep_second_run_is_all_cache_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        stats_path = tmp_path / "stats.json"
+        assert main(["sweep", "fig5", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "fig5", "--cache-dir", cache, "--workers", "2",
+                     "--json", str(stats_path)]) == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["cacheHits"] == 4
+        assert stats["executed"] == 0
+        assert stats["batchesExecuted"] == 0
+
+    def test_sweep_no_cache_reexecutes(self, tmp_path):
+        cache = str(tmp_path / "c")
+        stats_path = tmp_path / "stats.json"
+        assert main(["sweep", "fig5", "--cache-dir", cache]) == 0
+        assert main(["sweep", "fig5", "--cache-dir", cache, "--no-cache",
+                     "--json", str(stats_path)]) == 0
+        stats = json.loads(stats_path.read_text())
+        assert stats["cacheHits"] == 0
+        assert stats["executed"] == 4
+
+    def test_sweep_clear_cache_alone(self, tmp_path, capsys):
+        cache = str(tmp_path / "c")
+        assert main(["sweep", "fig5", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--cache-dir", cache, "--clear-cache"]) == 0
+        assert "cache cleared: 4 entries" in capsys.readouterr().err
+
+    def test_sweep_without_name_errors(self, tmp_path, capsys):
+        assert main(["sweep", "--cache-dir", str(tmp_path)]) == 2
+        assert "no sweep named" in capsys.readouterr().err
+
+    def test_sweep_unknown_name_errors(self, tmp_path, capsys):
+        assert main(["sweep", "fig99", "--cache-dir", str(tmp_path)]) == 2
+        assert "unknown sweep" in capsys.readouterr().err

@@ -50,6 +50,57 @@ class TestPartitionAppend:
         assert p.end_offset == 10
 
 
+class TestCoalescing:
+    def test_same_rate_adjacent_appends_merge(self):
+        p = Partition(0)
+        for i in range(50):
+            p.append(float(i), float(i + 1), 100)  # constant 100 rec/s
+        assert p.segment_count == 1
+        assert p.end_offset == 5000
+        assert p.nonempty_appends == 50
+
+    def test_rate_change_starts_new_segment(self):
+        p = Partition(0)
+        p.append(0.0, 1.0, 100)
+        p.append(1.0, 2.0, 100)   # merges
+        p.append(2.0, 3.0, 50)    # new rate
+        p.append(3.0, 4.0, 50)    # merges
+        assert p.segment_count == 2
+        assert p.end_offset == 300
+
+    def test_gap_prevents_merge(self):
+        p = Partition(0)
+        p.append(0.0, 1.0, 100)
+        p.append(1.5, 2.5, 100)  # same rate but not contiguous
+        assert p.segment_count == 2
+
+    def test_merge_equivalent_to_single_append(self):
+        merged = Partition(0)
+        for i in range(20):
+            merged.append(float(i), float(i + 1), 10)
+        reference = Partition(1)
+        reference.append(0.0, 20.0, 200)  # the span appended in one go
+        for t in (0.0, 0.5, 3.7, 10.0, 19.99, 20.0, 25.0):
+            assert merged.offset_at(t) == reference.offset_at(t)
+        for off in (0, 1, 37, 100, 199):
+            assert merged.timestamp_of(off) == pytest.approx(
+                reference.timestamp_of(off)
+            )
+        assert merged.mean_arrival_time(0, 200) == pytest.approx(
+            reference.mean_arrival_time(0, 200)
+        )
+
+    def test_zero_count_append_does_not_count_or_merge(self):
+        p = Partition(0)
+        p.append(0.0, 1.0, 100)
+        p.append(1.0, 2.0, 0)
+        assert p.nonempty_appends == 1
+        # The empty span left no segment, so the next same-rate append
+        # is not contiguous with the previous one.
+        p.append(2.0, 3.0, 100)
+        assert p.segment_count == 2
+
+
 class TestPartitionQueries:
     @pytest.fixture
     def log(self):

@@ -1,0 +1,88 @@
+"""Content-addressed result cache: roundtrip, invalidation, corruption."""
+
+import json
+
+import pytest
+
+from repro.runner import ResultCache, SweepCell, substrate_version_tag
+
+
+@pytest.fixture
+def cell():
+    return SweepCell.make(
+        0, "fixed_config",
+        {"workload": "wordcount", "batch_interval": 10.0, "seed": 1},
+    )
+
+
+class TestRoundtrip:
+    def test_get_miss_then_put_then_hit(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        assert cache.get(cell) is None
+        result = {"meanEndToEndDelay": 12.5, "delaySeries": [1.0, 2.0]}
+        cache.put(cell, result)
+        assert cache.get(cell) == result
+        assert len(cache) == 1
+
+    def test_key_ignores_cell_index(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        same_elsewhere = SweepCell.make(7, cell.kind, cell.param_dict)
+        assert cache.key(cell) == cache.key(same_elsewhere)
+
+    def test_key_depends_on_params(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        other = SweepCell.make(0, cell.kind, {**cell.param_dict, "seed": 2})
+        assert cache.key(cell) != cache.key(other)
+
+    def test_entry_is_inspectable_json(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        path = cache.put(cell, {"x": 1})
+        entry = json.loads(path.read_text())
+        assert entry["kind"] == "fixed_config"
+        assert entry["params"]["workload"] == "wordcount"
+        assert entry["version"] == cache.version_tag
+
+
+class TestInvalidation:
+    def test_version_tag_change_invalidates(self, tmp_path, cell):
+        old = ResultCache(tmp_path, version_tag="substrate-v1")
+        old.put(cell, {"x": 1})
+        new = ResultCache(tmp_path, version_tag="substrate-v2")
+        assert new.get(cell) is None
+        assert old.get(cell) == {"x": 1}
+
+    def test_substrate_version_tag_is_stable_hex(self):
+        tag = substrate_version_tag()
+        assert tag == substrate_version_tag()
+        int(tag, 16)
+        assert len(tag) == 64
+
+    def test_clear_removes_everything(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        cache.put(cell, {"x": 1})
+        other = SweepCell.make(1, "bo", {"seed": 2})
+        cache.put(other, {"y": 2})
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(cell) is None
+
+    def test_clear_empty_cache_is_zero(self, tmp_path):
+        assert ResultCache(tmp_path / "nonexistent").clear() == 0
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_a_miss_and_self_heals(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        path = cache.put(cell, {"x": 1})
+        path.write_text("{not json at all")
+        assert cache.get(cell) is None
+        assert not path.exists()
+        # The slot is writable again.
+        cache.put(cell, {"x": 2})
+        assert cache.get(cell) == {"x": 2}
+
+    def test_entry_missing_result_key_is_a_miss(self, tmp_path, cell):
+        cache = ResultCache(tmp_path)
+        path = cache.put(cell, {"x": 1})
+        path.write_text(json.dumps({"kind": "fixed_config"}))
+        assert cache.get(cell) is None

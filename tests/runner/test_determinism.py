@@ -1,0 +1,89 @@
+"""End-to-end determinism: parallel fig7 sweeps == sequential, cached
+reruns simulate nothing.
+
+This is the contract the sweep runner exists to uphold: a 3-worker run
+of the Fig. 7 protocol produces byte-identical NoStop reports and
+per-batch delay series to the historical sequential loop, and rerunning
+the same sweep against a warm cache executes zero simulator batches.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.fig7_improvement import (
+    fig7_measure_spec,
+    fig7_optimize_spec,
+    run_fig7_one,
+)
+from repro.runner import ResultCache, SweepRunner
+
+WORKLOAD = "logistic_regression"
+REPEATS = 2
+ROUNDS = 6
+
+
+def _dumps(results):
+    return json.dumps(results, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    """The reference: fig7 cells executed in-process, in order."""
+    runner = SweepRunner(workers=1)
+    optimize = runner.run(
+        fig7_optimize_spec(WORKLOAD, repeats=REPEATS, rounds=ROUNDS)
+    )
+    measure = runner.run(fig7_measure_spec(WORKLOAD, optimize.results))
+    return optimize, measure
+
+
+def test_three_worker_sweep_byte_identical_to_sequential(sequential):
+    seq_opt, seq_meas = sequential
+    runner = SweepRunner(workers=3)
+    par_opt = runner.run(
+        fig7_optimize_spec(WORKLOAD, repeats=REPEATS, rounds=ROUNDS)
+    )
+    par_meas = runner.run(fig7_measure_spec(WORKLOAD, par_opt.results))
+    # Full cell results — NoStop report fields AND per-batch delay
+    # series — must match byte for byte once JSON-canonicalized.
+    assert _dumps(par_opt.results) == _dumps(seq_opt.results)
+    assert _dumps(par_meas.results) == _dumps(seq_meas.results)
+    for res in par_opt.results:
+        assert res["delaySeries"], "delay series must be populated"
+
+
+def test_driver_output_matches_at_any_worker_count(sequential):
+    a = run_fig7_one(
+        WORKLOAD, repeats=REPEATS, rounds=ROUNDS,
+        runner=SweepRunner(workers=1),
+    )
+    b = run_fig7_one(
+        WORKLOAD, repeats=REPEATS, rounds=ROUNDS,
+        runner=SweepRunner(workers=3),
+    )
+    assert a.nostop_delays == b.nostop_delays
+    assert a.default_delays == b.default_delays
+    assert a.final_intervals == b.final_intervals
+    assert a.final_executors == b.final_executors
+
+
+def test_second_cached_run_executes_zero_simulations(tmp_path, sequential):
+    seq_opt, seq_meas = sequential
+    cache = ResultCache(tmp_path)
+    warmup = SweepRunner(workers=3, cache=cache)
+    warmup.run(fig7_optimize_spec(WORKLOAD, repeats=REPEATS, rounds=ROUNDS))
+    warmup.run(fig7_measure_spec(WORKLOAD, seq_opt.results))
+    assert warmup.totals.executed == warmup.totals.cells
+
+    rerun = SweepRunner(workers=3, cache=cache)
+    opt = rerun.run(
+        fig7_optimize_spec(WORKLOAD, repeats=REPEATS, rounds=ROUNDS)
+    )
+    meas = rerun.run(fig7_measure_spec(WORKLOAD, opt.results))
+    assert rerun.totals.executed == 0
+    assert rerun.totals.batches_executed == 0
+    assert rerun.totals.cache_hits == rerun.totals.cells
+    # Cached results are the sequential results, bit for bit.
+    assert _dumps(opt.results) == _dumps(seq_opt.results)
+    assert _dumps(meas.results) == _dumps(seq_meas.results)

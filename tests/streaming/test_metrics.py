@@ -122,3 +122,63 @@ class TestPercentiles:
             1.0 + 19 * 0.1 / 2, abs=0.2
         )
         assert m.end_to_end_delay_percentile(0.99) == pytest.approx(p99)
+
+
+class TestSortedViewCache:
+    """Regression: the lazily-synced sorted views must return exactly
+    what a from-scratch sort of the full history returns, at every
+    point of an interleaved record/query stream."""
+
+    def test_percentile_sorted_matches_percentile(self):
+        from repro.streaming.metrics import percentile, percentile_sorted
+
+        values = [5.0, 1.0, 4.0, 2.0, 3.0, 2.5]
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert percentile_sorted(sorted(values), q) == percentile(values, q)
+        with pytest.raises(ValueError):
+            percentile_sorted([], 0.5)
+        with pytest.raises(ValueError):
+            percentile_sorted([1.0], 2.0)
+
+    def test_interleaved_records_and_queries_stay_exact(self):
+        from repro.streaming.metrics import percentile
+
+        m = StreamingMetrics()
+        # Deterministic, deliberately non-monotone delay pattern.
+        for i in range(60):
+            proc = 1.0 + ((i * 7) % 13) * 0.37
+            m.record(info(idx=i, bt=float(10 + i * 5), start=float(10 + i * 5),
+                          end=float(10 + i * 5) + proc))
+            if i % 4 == 0:  # query mid-stream so the cache syncs often
+                for q in (0.5, 0.95, 0.99):
+                    assert m.processing_time_percentile(q) == percentile(
+                        [b.processing_time for b in m.batches], q
+                    )
+                    assert m.end_to_end_delay_percentile(q) == percentile(
+                        [b.end_to_end_delay for b in m.batches], q
+                    )
+
+    def test_delay_percentiles_use_the_cache(self):
+        from repro.streaming.metrics import percentiles
+
+        m = StreamingMetrics()
+        for i in range(30):
+            m.record(info(idx=i, bt=float(10 + i * 5), start=float(10 + i * 5),
+                          end=float(10 + i * 5) + 1.0 + (i % 7) * 0.5))
+        m.delay_percentiles()  # warm the view
+        m.record(info(idx=30, bt=170.0, start=170.0, end=180.0))
+        assert m.delay_percentiles() == percentiles(
+            [b.end_to_end_delay for b in m.batches]
+        )
+
+    def test_truncated_history_rebuilds_view(self):
+        m = StreamingMetrics()
+        for i in range(10):
+            m.record(info(idx=i, bt=float(10 + i * 5), start=float(10 + i * 5),
+                          end=float(10 + i * 5) + 1.0 + i))
+        m.delay_percentiles()  # cache sees 10 batches
+        m.batches = m.batches[:3]  # external truncation
+        p50 = m.end_to_end_delay_percentile(0.5)
+        from repro.streaming.metrics import percentile
+
+        assert p50 == percentile([b.end_to_end_delay for b in m.batches], 0.5)
