@@ -1,0 +1,56 @@
+"""Correctness subsystem: runtime invariants, analytic oracles, linter.
+
+The reproduction substitutes the authors' physical cluster with a
+discrete-event simulator, so simulator *fidelity bugs* are the dominant
+threat to every figure.  This package provides three lines of defense:
+
+* :mod:`repro.check.invariants` — an engine hooked at batch boundaries
+  (the chaos engine's injection point) that checks conservation laws the
+  simulator must obey no matter what the configuration or fault schedule
+  does: record conservation across the Kafka → receiver → queue → engine
+  path, simulation-clock monotonicity, queue accounting, scheduling-delay
+  slack bounded by injected reconfiguration pauses, and executor
+  busy-time ≤ wall-time × cores.
+* :mod:`repro.check.oracles` — closed-form expectations (steady-state
+  delay identity, utilization-law processing time) compared against
+  simulator output within stated tolerances, plus the metamorphic
+  relations of :mod:`repro.check.metamorphic`.
+* :mod:`repro.check.lint` — an AST determinism linter for the hazard
+  class (unseeded RNGs, wall-clock reads, unordered iteration) that
+  would silently break the runner's bit-identity and cache guarantees.
+
+``repro check`` / ``repro lint`` expose all three on the CLI.
+"""
+
+from .invariants import InvariantEngine
+from .lint import LintFinding, lint_file, lint_paths, lint_source
+from .metamorphic import (
+    executor_homogeneity_check,
+    time_dilation_check,
+)
+from .oracles import (
+    predict_processing_time,
+    run_oracles,
+    steady_state_delay_oracle,
+    utilization_oracle,
+)
+from .run import run_check
+from .violations import CheckReport, InvariantViolation, OracleResult
+
+__all__ = [
+    "CheckReport",
+    "InvariantEngine",
+    "InvariantViolation",
+    "LintFinding",
+    "OracleResult",
+    "executor_homogeneity_check",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "predict_processing_time",
+    "run_check",
+    "run_oracles",
+    "steady_state_delay_oracle",
+    "time_dilation_check",
+    "utilization_oracle",
+]

@@ -1,0 +1,204 @@
+"""Analytic oracles: closed-form expectations vs. simulator output.
+
+Two queueing-theoretic identities give checkable closed forms (the same
+technique Lin et al. use to validate their Spark Streaming simulator
+against analytic expectations):
+
+* **steady-state delay identity** — with arrivals uniform inside each
+  interval, a record waits on average ``interval / 2`` for its batch to
+  close, then the batch's scheduling delay, then its processing time:
+  ``E[e2e] = interval/2 + scheduling_delay + processing_time``.  For a
+  stable fixed configuration the scheduling delay is ~0 and this reduces
+  to the paper's ``interval/2 + processing time``.  The identity holds
+  per batch, so it is checked as the mean absolute residual over the
+  clean batches of a run.
+* **utilization law** — batch processing time follows from the workload
+  cost model and the executor pool's aggregate capacity: per stage
+  execution, compute core-seconds divide by ``sum(cores x speed)``, I/O
+  core-seconds pay the pool-average disk penalty over ``sum(cores)``,
+  plus the serial driver-side overheads the overhead model charges.
+  List-scheduling imbalance and task noise keep this from being exact;
+  the tolerance is stated relative to the prediction.
+
+Tolerances are deliberately loose enough to pass on every seed of the
+shipped targets yet tight enough that a factor-level fidelity bug (lost
+wait time, double-charged stage, wrong capacity aggregation) fails them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.executor import Executor
+from repro.engine.overhead import OverheadModel
+from repro.streaming.metrics import BatchInfo
+from repro.workloads.base import Workload
+
+from .violations import OracleResult
+
+#: Allowed residual of the per-batch delay identity, as a fraction of
+#: the mean batch interval (covers non-uniform arrivals when the rate
+#: trace steps mid-interval).
+STEADY_STATE_REL_TOL = 0.15
+
+#: Allowed relative error of the utilization-law processing-time
+#: prediction (covers LPT imbalance, task noise, iteration-count draws).
+UTILIZATION_REL_TOL = 0.30
+
+
+def clean_batches(
+    batches: Sequence[BatchInfo],
+    warmup: int = 5,
+    num_executors: Optional[int] = None,
+    interval: Optional[float] = None,
+) -> List[BatchInfo]:
+    """Batches suitable for analytic comparison.
+
+    Drops the warmup prefix (executor startup charges), empty batches
+    (receiver stalls), and first-after-reconfig batches (the §5.4 rule),
+    and — when a target configuration is given — keeps only batches run
+    at that configuration (for optimizer runs, the final one).
+    """
+    out = []
+    for i, b in enumerate(batches):
+        if i < warmup:
+            continue
+        if b.records <= 0 or b.first_after_reconfig:
+            continue
+        if num_executors is not None and b.num_executors != num_executors:
+            continue
+        if interval is not None and abs(b.interval - interval) > 1e-9:
+            continue
+        out.append(b)
+    return out
+
+
+def predict_processing_time(
+    workload: Workload,
+    records: int,
+    executors: Sequence[Executor],
+    overhead: OverheadModel,
+    iterations: Optional[float] = None,
+) -> float:
+    """Utilization-law prediction of batch processing time.
+
+    ``iterations`` overrides the expected iteration count per iterated
+    stage (defaults to the cost model's mean — correct on average over
+    many batches, since draws are uniform).
+    """
+    if not executors:
+        raise ValueError("prediction needs at least one executor")
+    model = workload.cost_model
+    cost_records = workload.effective_records(records)
+    compute_capacity = sum(ex.cores * ex.speed_factor for ex in executors)
+    total_cores = sum(ex.cores for ex in executors)
+    mean_io_penalty = (
+        sum(ex.cores * ex.io_penalty for ex in executors) / total_cores
+    )
+    coord = overhead.coordination_cost(len(executors))
+    t = overhead.batch_setup
+    for sc in model.stages:
+        reps = 1.0
+        if sc.name in model.iterated_stages:
+            reps = model.iterations.mean if iterations is None else iterations
+        compute = cost_records * sc.compute_per_record + sc.fixed_compute
+        io = cost_records * sc.io_per_record
+        parallel_time = (
+            compute / compute_capacity
+            + io * mean_io_penalty / total_cores
+            + workload.partitions * overhead.task_dispatch / total_cores
+        )
+        t += reps * (overhead.stage_setup + coord + parallel_time)
+    return t
+
+
+def steady_state_delay_oracle(
+    batches: Sequence[BatchInfo],
+    rel_tol: float = STEADY_STATE_REL_TOL,
+) -> OracleResult:
+    """Check ``e2e = interval/2 + scheduling delay + processing time``.
+
+    Compares mean observed end-to-end delay against the mean of the
+    per-batch closed form; tolerance is ``rel_tol`` x mean interval.
+    """
+    if not batches:
+        return OracleResult(
+            oracle="steady-state-delay",
+            expected=0.0,
+            actual=0.0,
+            tolerance=0.0,
+            samples=0,
+            detail="no clean batches to compare",
+        )
+    expected = sum(
+        b.interval / 2.0 + b.scheduling_delay + b.processing_time
+        for b in batches
+    ) / len(batches)
+    actual = sum(b.end_to_end_delay for b in batches) / len(batches)
+    mean_interval = sum(b.interval for b in batches) / len(batches)
+    return OracleResult(
+        oracle="steady-state-delay",
+        expected=expected,
+        actual=actual,
+        tolerance=rel_tol * mean_interval,
+        samples=len(batches),
+        detail="interval/2 + scheduling delay + processing time",
+    )
+
+
+def utilization_oracle(
+    workload: Workload,
+    batches: Sequence[BatchInfo],
+    executors: Sequence[Executor],
+    overhead: OverheadModel,
+    rel_tol: float = UTILIZATION_REL_TOL,
+) -> OracleResult:
+    """Check mean processing time against the utilization-law prediction."""
+    if not batches:
+        return OracleResult(
+            oracle="utilization-law",
+            expected=0.0,
+            actual=0.0,
+            tolerance=0.0,
+            samples=0,
+            detail="no clean batches to compare",
+        )
+    mean_records = sum(b.records for b in batches) / len(batches)
+    expected = predict_processing_time(
+        workload, int(round(mean_records)), executors, overhead
+    )
+    actual = sum(b.processing_time for b in batches) / len(batches)
+    return OracleResult(
+        oracle="utilization-law",
+        expected=expected,
+        actual=actual,
+        tolerance=rel_tol * expected,
+        samples=len(batches),
+        detail=(
+            f"cost-model prediction at {mean_records:.0f} records/batch "
+            f"on {len(executors)} executors"
+        ),
+    )
+
+
+def run_oracles(setup, warmup: int = 5) -> List[OracleResult]:
+    """Evaluate all analytic oracles against a finished run's batches.
+
+    ``setup`` is an :class:`~repro.experiments.common.ExperimentSetup`
+    whose context has been advanced; for optimizer runs the comparison
+    restricts itself to batches measured at the final configuration.
+    """
+    ctx = setup.context
+    rm = ctx.resource_manager
+    batches = clean_batches(
+        ctx.listener.metrics.batches,
+        warmup=warmup,
+        num_executors=rm.executor_count,
+        interval=ctx.batch_interval,
+    )
+    return [
+        steady_state_delay_oracle(batches),
+        utilization_oracle(
+            setup.workload, batches, rm.executors, ctx.overhead
+        ),
+    ]

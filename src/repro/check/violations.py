@@ -1,0 +1,152 @@
+"""Structured results for the correctness subsystem.
+
+:class:`InvariantViolation` is the unit the invariant engine emits;
+:class:`OracleResult` the unit the analytic/metamorphic harness emits;
+:class:`CheckReport` bundles both for ``repro check`` (text render for
+humans, sorted-key JSON for the CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken runtime invariant, with enough context to debug it."""
+
+    invariant: str
+    """Rule identifier, e.g. ``record-conservation``."""
+    time: float
+    """Simulation time at which the violation was detected."""
+    message: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "time": self.time,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        return f"[{self.invariant}] t={self.time:.3f}s {self.message}"
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """One analytic-oracle comparison: expected vs. simulated."""
+
+    oracle: str
+    expected: float
+    actual: float
+    tolerance: float
+    """Maximum allowed ``|actual - expected|`` (same unit as the values)."""
+    samples: int = 0
+    """Batches (or runs) the comparison aggregates.  Zero means the
+    oracle had nothing applicable to check — reported as passed, with
+    the detail explaining why."""
+    detail: str = ""
+
+    @property
+    def delta(self) -> float:
+        return self.actual - self.expected
+
+    @property
+    def passed(self) -> bool:
+        if self.samples == 0:
+            return True
+        return abs(self.delta) <= self.tolerance
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "oracle": self.oracle,
+            "expected": self.expected,
+            "actual": self.actual,
+            "delta": self.delta,
+            "tolerance": self.tolerance,
+            "samples": self.samples,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        if self.samples == 0:
+            return f"[{self.oracle}] skipped ({self.detail or 'no samples'})"
+        verdict = "ok" if self.passed else "FAIL"
+        return (
+            f"[{self.oracle}] {verdict}: expected {self.expected:.4f}, "
+            f"got {self.actual:.4f} (delta {self.delta:+.4f}, "
+            f"tol ±{self.tolerance:.4f}, n={self.samples})"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Everything ``repro check`` learned about one run."""
+
+    target: str
+    workload: str
+    seed: int
+    checks_run: int = 0
+    batches_checked: int = 0
+    violations: List[InvariantViolation] = field(default_factory=list)
+    oracles: List[OracleResult] = field(default_factory=list)
+    gate_oracles: bool = True
+    """Whether oracle failures fail the report (off for chaos runs,
+    where analytic steady-state expectations legitimately do not hold
+    during fault windows — invariants still gate)."""
+
+    @property
+    def oracle_failures(self) -> List[OracleResult]:
+        return [o for o in self.oracles if not o.passed]
+
+    @property
+    def ok(self) -> bool:
+        if self.violations:
+            return False
+        if self.gate_oracles and self.oracle_failures:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "workload": self.workload,
+            "seed": self.seed,
+            "checks_run": self.checks_run,
+            "batches_checked": self.batches_checked,
+            "violations": [v.to_dict() for v in self.violations],
+            "oracles": [o.to_dict() for o in self.oracles],
+            "gate_oracles": self.gate_oracles,
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [
+            f"check target={self.target} workload={self.workload} "
+            f"seed={self.seed}",
+            f"  invariant checks run: {self.checks_run} "
+            f"over {self.batches_checked} batches",
+        ]
+        if self.violations:
+            lines.append(f"  violations ({len(self.violations)}):")
+            lines.extend(f"    {v.render()}" for v in self.violations)
+        else:
+            lines.append("  violations: none")
+        if self.oracles:
+            lines.append("  oracles:")
+            lines.extend(f"    {o.render()}" for o in self.oracles)
+        if not self.gate_oracles and self.oracle_failures:
+            lines.append(
+                "  note: oracle deltas are informational for this target "
+                "(faults active); only invariants gate"
+            )
+        lines.append(f"  result: {'OK' if self.ok else 'FAIL'}")
+        return "\n".join(lines)

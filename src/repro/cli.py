@@ -375,6 +375,56 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.check import run_check
+
+    report = run_check(
+        target=args.target,
+        workload=args.workload,
+        seed=args.seed,
+        batches=args.batches,
+        rounds=args.rounds,
+        warmup=args.warmup,
+        metamorphic=args.metamorphic,
+    )
+    print(report.render_text())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    import json as _json
+
+    from repro.check.lint import lint_paths
+
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    findings = lint_paths(paths)
+    for f in findings:
+        print(f.format())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(
+                [f.to_dict() for f in findings], fh, indent=2, sort_keys=True
+            )
+        print(f"wrote {args.json}")
+    if findings:
+        print(f"{len(findings)} determinism finding(s)")
+        return 1
+    print("determinism lint clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -472,6 +522,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser(
+        "check",
+        help="run a target with runtime invariants attached and compare "
+             "against the analytic oracles",
+    )
+    p.add_argument("target", nargs="?", default="quickstart",
+                   choices=["quickstart", "fig7", "chaos"])
+    p.add_argument("--workload", default=None, choices=sorted(WORKLOADS),
+                   help="override the target's default workload")
+    p.add_argument("--seed", type=int, default=None,
+                   help="override the target's default seed")
+    p.add_argument("--batches", type=int, default=30,
+                   help="batches for fixed-configuration targets")
+    p.add_argument("--rounds", type=int, default=40,
+                   help="optimizer rounds for fig7/chaos targets")
+    p.add_argument("--warmup", type=int, default=5,
+                   help="batches excluded from oracle comparison")
+    p.add_argument("--metamorphic", action="store_true",
+                   help="also run the time-dilation twin and the "
+                        "executor-homogeneity identity")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero on any violation or oracle failure")
+    p.add_argument("--json", default=None,
+                   help="write the full check report as JSON")
+    p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism linter: unseeded RNGs, wall-clock reads, "
+             "unordered iteration",
+    )
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files or directories (default: the installed "
+                        "repro package source)")
+    p.add_argument("--json", default=None,
+                   help="write findings as JSON")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 

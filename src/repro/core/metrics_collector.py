@@ -132,8 +132,19 @@ class MetricsCollector:
         return self._degraded
 
     def set_degraded(self, active: bool) -> None:
-        """Enter/leave degraded mode (faults active on the substrate)."""
-        self._degraded = bool(active)
+        """Enter/leave degraded mode (faults active on the substrate).
+
+        Leaving degraded mode flushes the in-progress window: batches
+        buffered under the widened window were collected while faults
+        were active, and the window shrinks back the moment the flag
+        clears — without the flush the very next ``offer`` would
+        summarize an oversized window that mixes degraded-era batches
+        into the clean measurement.
+        """
+        active = bool(active)
+        if self._degraded and not active and self._buffer:
+            self._buffer.clear()
+        self._degraded = active
 
     def relax_window(self) -> int:
         """Additive increase: one more batch per completed batch at the

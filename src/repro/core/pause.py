@@ -154,10 +154,19 @@ class PauseRule:
         return min(self._grouped(), key=lambda e: e.sort_key)
 
     def should_pause(self) -> bool:
-        """The ``satisfyPauseCondition`` of Table 1."""
-        if len(self._history) < self.n_best:
+        """The ``satisfyPauseCondition`` of Table 1.
+
+        The gate counts *distinct grouped* configurations, not raw
+        history entries: ``best()`` dedups by θ, so ten repeated
+        measurements of two configs would otherwise pass a raw-length
+        gate and take the std over just two delays — pausing far too
+        early on a sample the rule was never meant to accept.
+        """
+        grouped = self._grouped()
+        if len(grouped) < self.n_best:
             return False
-        delays = np.array([e.end_to_end_delay for e in self.best()])
+        ranked = sorted(grouped, key=lambda e: e.sort_key)[: self.n_best]
+        delays = np.array([e.end_to_end_delay for e in ranked])
         return bool(np.std(delays) < self.std_threshold)
 
     def reset(self) -> None:

@@ -165,7 +165,10 @@ class WallClockProfiler:
     deterministic tests.  Sections with the same name accumulate.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    # Timing clock: measures the harness, never a simulated result.
+    def __init__(
+        self, clock: Callable[[], float] = time.perf_counter  # det: allow-wallclock
+    ) -> None:
         self._clock = clock
         self._totals: Dict[str, float] = {}
         self._counts: Dict[str, int] = {}

@@ -41,6 +41,10 @@ class BatchQueue:
         self.total_enqueued = 0
         self.total_dequeued = 0
         self.total_dropped = 0
+        #: records carried by evicted batches — the record-level side of
+        #: :meth:`conservation_ok`, needed to balance consumed records
+        #: against processed + waiting + lost.
+        self.total_dropped_records = 0
         self.peak_length = 0
         #: (time, length) samples for instability analysis.
         self.length_history: List[Tuple[float, int]] = []
@@ -70,6 +74,7 @@ class BatchQueue:
         if self.max_length is not None and len(self._queue) >= self.max_length:
             self.last_evicted = self._queue.popleft()
             self.total_dropped += 1
+            self.total_dropped_records += self.last_evicted.job.records
             dropped = True
         self._queue.append(batch)
         self.total_enqueued += 1
@@ -89,6 +94,10 @@ class BatchQueue:
         self.total_dequeued += 1
         self.length_history.append((now, len(self._queue)))
         return batch
+
+    def queued_records(self) -> int:
+        """Records currently waiting in the queue (unprocessed backlog)."""
+        return sum(qb.job.records for qb in self._queue)
 
     def conservation_ok(self) -> bool:
         """Invariant: every enqueued batch was dequeued, evicted, or waits."""

@@ -147,6 +147,10 @@ class StreamingMetrics:
     _pt_sorted: List[float] = field(default_factory=list, repr=False, compare=False)
     _delay_sorted: List[float] = field(default_factory=list, repr=False, compare=False)
     _sorted_upto: int = field(default=0, repr=False, compare=False)
+    _synced_list: Optional[List[BatchInfo]] = field(
+        default=None, repr=False, compare=False
+    )
+    _synced_last_index: int = field(default=-1, repr=False, compare=False)
 
     def record(self, info: BatchInfo) -> None:
         if self.batches and info.batch_index <= self.batches[-1].batch_index:
@@ -159,8 +163,26 @@ class StreamingMetrics:
     def _sorted_views(self) -> Tuple[List[float], List[float]]:
         """Sorted processing-time / end-to-end-delay series, synced."""
         n = len(self.batches)
-        if self._sorted_upto > n:
-            # batches was truncated/replaced externally — rebuild.
+        # A shrunken series is not the only external mutation that
+        # invalidates the incremental merge: ``batches`` may be rebound
+        # to a new list, or truncated and refilled back to equal-or-
+        # greater length.  Both leave ``_sorted_upto <= n`` while the
+        # synced prefix no longer matches, which would silently merge
+        # stale entries into the views.  Track the list identity and the
+        # index of the last synced batch so any replacement forces a
+        # full rebuild.
+        prefix_intact = (
+            self._synced_list is self.batches
+            and (
+                self._sorted_upto == 0
+                or (
+                    self._sorted_upto <= n
+                    and self.batches[self._sorted_upto - 1].batch_index
+                    == self._synced_last_index
+                )
+            )
+        )
+        if not prefix_intact:
             self._pt_sorted = sorted(b.processing_time for b in self.batches)
             self._delay_sorted = sorted(b.end_to_end_delay for b in self.batches)
         else:
@@ -168,6 +190,8 @@ class StreamingMetrics:
                 insort(self._pt_sorted, b.processing_time)
                 insort(self._delay_sorted, b.end_to_end_delay)
         self._sorted_upto = n
+        self._synced_list = self.batches
+        self._synced_last_index = self.batches[-1].batch_index if n else -1
         return self._pt_sorted, self._delay_sorted
 
     def __len__(self) -> int:

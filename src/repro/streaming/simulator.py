@@ -52,6 +52,10 @@ class MicroBatchEngine:
         #: Set by a configuration change; the next started job is flagged
         #: ``first_after_reconfig`` and the flag clears.
         self._reconfig_pending = False
+        #: Cumulative reconfiguration pause injected into ``free_at``.
+        #: Scheduling-delay slack beyond the backlog identity is bounded
+        #: by this total — the invariant engine checks exactly that.
+        self.total_pause_injected = 0.0
         self.last_runs: List[JobRun] = []
         self.keep_runs = False
         metrics = self.telemetry.metrics
@@ -77,6 +81,7 @@ class MicroBatchEngine:
         if pause < 0:
             raise ValueError("pause must be >= 0")
         self.free_at = max(self.free_at, now) + pause
+        self.total_pause_injected += pause
         self._reconfig_pending = True
 
     def drain(self, queue: BatchQueue, until: float) -> List[BatchInfo]:

@@ -126,6 +126,40 @@ class TestDegradedMode:
             assert c.offer(binfo(i)) is None
         assert c.offer(binfo(3)) is not None
 
+    def test_clearing_degraded_mid_window_flushes_buffer(self):
+        # Regression: the window shrank on set_degraded(False) while the
+        # buffer kept the widened count, so the next offer summarized an
+        # oversized window that mixed degraded-era batches into the
+        # clean measurement.
+        c = MetricsCollector(window=3, degraded_extra=3)
+        c.set_degraded(True)
+        c.start_measurement()
+        for i in range(4):  # widened window (6) not yet full
+            assert c.offer(binfo(i, proc=50.0)) is None
+        c.set_degraded(False)
+        assert c.pending == 0  # degraded-era batches flushed
+        for i in range(4, 6):
+            assert c.offer(binfo(i, proc=3.0)) is None
+        m = c.offer(binfo(6, proc=3.0))
+        assert m is not None
+        # Exactly the configured window, only post-fault batches.
+        assert m.batches_used == 3
+        assert m.mean_processing_time == pytest.approx(3.0)
+
+    def test_entering_degraded_keeps_buffer(self):
+        # Widening mid-window is safe — the buffered clean batches stay
+        # and the window simply asks for more.
+        c = MetricsCollector(window=2, degraded_extra=2)
+        c.start_measurement()
+        assert c.offer(binfo(0, proc=3.0)) is None
+        c.set_degraded(True)
+        assert c.pending == 1
+        assert c.offer(binfo(1, proc=3.0)) is None
+        assert c.offer(binfo(2, proc=3.0)) is None
+        m = c.offer(binfo(3, proc=3.0))  # widened window (4) fills
+        assert m is not None
+        assert m.batches_used == 4
+
 
 class TestRateMonitorCooldown:
     def _surge(self, m):
@@ -164,3 +198,77 @@ class TestRateMonitorCooldown:
     def test_negative_cooldown_rejected(self):
         with pytest.raises(ValueError):
             RateMonitor(cooldown=-1)
+
+
+class TestRateMonitorCooldownSemantics:
+    """Pin the intended cooldown accounting: the countdown is measured
+    in *observations*, full stop — it ticks down on every ``observe``,
+    including the ones made before the refilled window has
+    ``min_samples`` rates again."""
+
+    def test_cooldown_ticks_during_observe_before_min_samples(self):
+        m = RateMonitor(threshold=0.25, window=6, min_samples=4, cooldown=3)
+        for _ in range(3):
+            m.observe(1_000.0)
+        for _ in range(3):
+            m.observe(50_000.0)
+        assert m.need_reset()
+        m.acknowledge_reset()
+        assert m.in_cooldown
+        # Two observations: fewer than min_samples, but each one still
+        # burns a cooldown tick.
+        m.observe(1_000.0)
+        m.observe(1_000.0)
+        assert m.in_cooldown  # one tick left
+        m.observe(1_000.0)
+        assert not m.in_cooldown  # expired at 3 observations...
+        # ...yet need_reset stays False: only 3 < min_samples rates in
+        # the refilled window.  The two gates are independent.
+        assert not m.need_reset()
+
+    def test_cooldown_expiry_and_min_samples_reached_together(self):
+        m = RateMonitor(threshold=0.25, window=6, min_samples=4, cooldown=4)
+        for _ in range(3):
+            m.observe(1_000.0)
+        for _ in range(3):
+            m.observe(50_000.0)
+        m.acknowledge_reset()
+        # Four steady post-reset observations: cooldown expires exactly
+        # when min_samples is reached, and a steady stream must not
+        # re-trigger.
+        for _ in range(4):
+            m.observe(1_000.0)
+        assert not m.in_cooldown
+        assert not m.need_reset()
+        assert m.resets_triggered == 1
+
+    def test_reset_storm_is_bounded_by_cooldown(self):
+        # The docstring scenario: a persistent post-fault spike pattern
+        # in the rate stream.  Without hysteresis every round would
+        # trigger; with cooldown=8 the monitor fires at most once per
+        # 8 + min_samples observations.
+        m = RateMonitor(threshold=0.25, window=6, min_samples=2, cooldown=8)
+        resets = 0
+        for round_ in range(40):
+            m.observe(1_000.0 if round_ % 2 else 60_000.0)
+            if m.need_reset():
+                m.acknowledge_reset()
+                resets += 1
+        assert m.resets_triggered == resets
+        # The window refills *during* cooldown (observe still appends),
+        # so the firing cycle is cooldown + 1 = 9 observations: at most
+        # 5 firings in 40 rounds.
+        assert 1 <= resets <= 5
+
+    def test_zero_cooldown_storms(self):
+        # Contrast case: cooldown=0 (legacy behavior) re-triggers nearly
+        # every round on the same stream — the storm the hysteresis is
+        # there to prevent.
+        m = RateMonitor(threshold=0.25, window=6, min_samples=2, cooldown=0)
+        resets = 0
+        for round_ in range(40):
+            m.observe(1_000.0 if round_ % 2 else 60_000.0)
+            if m.need_reset():
+                m.acknowledge_reset()
+                resets += 1
+        assert resets > 10

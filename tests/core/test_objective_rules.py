@@ -204,6 +204,37 @@ class TestPauseRule:
         ))
         assert rule.best_config().theta == (5.0, 5.0)
 
+    def test_repeated_theta_does_not_pass_the_gate(self):
+        # Regression: ten measurements of only two distinct configs used
+        # to satisfy the raw-length gate, so the std was taken over two
+        # (near-identical, because averaged) delays and optimization
+        # paused far too early.  The gate must count distinct grouped
+        # configurations.
+        rule = PauseRule(n_best=4, std_threshold=1.0)
+        for i in range(10):
+            theta = (1.0, 1.0) if i % 2 else (2.0, 2.0)
+            rule.record(ev(10.0, 12.0 + 0.05 * i, k=i, theta=theta))
+        assert len(rule._history) >= rule.n_best
+        assert not rule.should_pause()
+
+    def test_distinct_configs_still_pause(self):
+        # The same delays spread over enough *distinct* configurations
+        # satisfy the rule as before.
+        rule = PauseRule(n_best=4, std_threshold=1.0)
+        for i in range(10):
+            rule.record(ev(10.0 + i, 12.0 + 0.05 * i, k=i))
+        assert rule.should_pause()
+
+    def test_repeats_of_enough_distinct_configs_pause(self):
+        # Repeats are fine once the distinct-config count clears n_best:
+        # paused-phase monitoring keeps re-recording the winner.
+        rule = PauseRule(n_best=3, std_threshold=1.0)
+        for i in range(3):
+            rule.record(ev(10.0 + i, 12.0 + 0.1 * i, k=i))
+        for i in range(5):  # winner re-measured while paused
+            rule.record(ev(10.0, 12.0, k=10 + i, theta=(0.0, 10.0)))
+        assert rule.should_pause()
+
     def test_steady_state_delay(self):
         assert steady_state_delay(10.0, 8.0) == pytest.approx(13.0)
         with pytest.raises(ValueError):

@@ -182,3 +182,57 @@ class TestSortedViewCache:
         from repro.streaming.metrics import percentile
 
         assert p50 == percentile([b.end_to_end_delay for b in m.batches], 0.5)
+
+
+class TestSortedViewReplacement:
+    """Regression: equal-or-longer external replacement of ``batches``
+    used to merge stale sorted entries into the percentile views."""
+
+    def _fill(self, m, n, base_delay=1.0):
+        for i in range(n):
+            bt = float(10 + i * 5)
+            m.record(info(idx=i, bt=bt, start=bt,
+                          end=bt + base_delay + i * 0.5))
+
+    def test_equal_length_rebind_rebuilds_view(self):
+        from repro.streaming.metrics import percentile
+
+        m = StreamingMetrics()
+        self._fill(m, 6, base_delay=1.0)
+        m.processing_time_percentile(0.5)  # warm the cache
+        replacement = StreamingMetrics()
+        self._fill(replacement, 6, base_delay=40.0)
+        m.batches = replacement.batches  # same length, new identity
+        expect = percentile([b.processing_time for b in m.batches], 0.5)
+        assert m.processing_time_percentile(0.5) == expect
+
+    def test_truncate_and_refill_to_longer_rebuilds_view(self):
+        from repro.streaming.metrics import percentile
+
+        m = StreamingMetrics()
+        self._fill(m, 5, base_delay=1.0)
+        m.end_to_end_delay_percentile(0.5)  # warm the cache
+        replacement = StreamingMetrics()
+        # In-place slice assignment: same list object, 8 new batches
+        # with fresh indices — strictly longer than the synced prefix.
+        self._fill(replacement, 8, base_delay=25.0)
+        m.batches[:] = [
+            info(idx=100 + i, bt=b.batch_time, start=b.processing_start,
+                 end=b.processing_end)
+            for i, b in enumerate(replacement.batches)
+        ]
+        expect = percentile([b.end_to_end_delay for b in m.batches], 0.5)
+        assert m.end_to_end_delay_percentile(0.5) == expect
+        expect_pt = percentile([b.processing_time for b in m.batches], 0.5)
+        assert m.processing_time_percentile(0.5) == expect_pt
+
+    def test_incremental_path_still_used_for_appends(self):
+        m = StreamingMetrics()
+        self._fill(m, 4)
+        m.processing_time_percentile(0.5)
+        views_before = m._pt_sorted
+        m.record(info(idx=4, bt=100.0, start=100.0, end=101.0))
+        m.processing_time_percentile(0.5)
+        # Same list object: appends merged in place, no rebuild.
+        assert m._pt_sorted is views_before
+        assert len(m._pt_sorted) == 5
