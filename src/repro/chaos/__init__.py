@@ -12,6 +12,7 @@ from .events import AtTime, FaultEvent, FaultSchedule, Periodic, RateAbove
 from .injectors import (
     BrokerOutage,
     DataSkewBurst,
+    DriverFailure,
     ExecutorCrash,
     Injector,
     NodeOutage,
@@ -27,6 +28,7 @@ __all__ = [
     "ChaosReport",
     "ChaosRunResult",
     "DataSkewBurst",
+    "DriverFailure",
     "EventOutcome",
     "EventRecord",
     "ExecutorCrash",

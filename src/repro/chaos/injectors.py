@@ -217,6 +217,47 @@ class BrokerOutage(Injector):
 
 
 @dataclass
+class DriverFailure(Injector):
+    """Kill the driver process: the controller dies mid-optimization.
+
+    The fault every other injector leaves untouched — not an executor,
+    a node, or a broker, but the *control plane* itself.  While the
+    driver is down no batches are scheduled (the receiver stalls, so
+    records pile up in the topic exactly as for a broker outage) and,
+    crucially, the NoStop controller loses its in-memory state: SPSA
+    iterate, gain position, ρ, pause history, rate window.
+
+    What happens at recovery is the experiment's independent variable
+    and is delegated to an optional bound *host* (see
+    :mod:`repro.experiments.recovery`): the paper's §5.5 cold restart
+    throws the tuner state away, checkpoint recovery restores it.  The
+    injector itself only models the outage window; with no host bound
+    it degrades to a pure ingestion stall, so it composes with any
+    chaos schedule.
+    """
+
+    _host: Optional[object] = field(default=None, repr=False)
+
+    def bind(self, host: object) -> "DriverFailure":
+        """Attach a driver host notified on kill/recover (fluent)."""
+        self._host = host
+        return self
+
+    def inject(
+        self, context: "StreamingContext", now: float, rng: np.random.Generator
+    ) -> str:
+        context.receiver.stall()
+        if self._host is not None:
+            self._host.on_driver_kill(now)
+        return "driver killed; scheduling halted, controller state lost"
+
+    def recover(self, context: "StreamingContext", now: float) -> None:
+        context.receiver.resume()
+        if self._host is not None:
+            self._host.on_driver_recover(now)
+
+
+@dataclass
 class DataSkewBurst(Injector):
     """Multiply the offered ingest rate for the event's duration.
 

@@ -241,11 +241,17 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    """Run a figure sweep through the parallel, cached sweep runner."""
+    """Run a figure sweep through the supervised, cached sweep runner."""
     import json as _json
     from pathlib import Path
 
-    from repro.runner import ResultCache, SweepRunner, default_cache_dir
+    from repro.runner import (
+        ResultCache,
+        RetryPolicy,
+        SweepJournal,
+        SweepRunner,
+        default_cache_dir,
+    )
 
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     cache = ResultCache(cache_dir)
@@ -260,72 +266,113 @@ def _cmd_sweep(args) -> int:
               file=sys.stderr)
         return 2
 
+    journal_path = args.resume or args.journal
+    journal = SweepJournal(Path(journal_path)) if journal_path else None
+    retry = RetryPolicy(
+        max_retries=args.retries, timeout_seconds=args.timeout
+    )
     runner = SweepRunner(
-        workers=args.workers, cache=cache, use_cache=not args.no_cache
+        workers=args.workers, cache=cache, use_cache=not args.no_cache,
+        journal=journal, retry=retry,
     )
     name = args.name.lower()
-    if name == "fig2":
-        from repro.experiments.fig2_batch_interval import run_fig2
+    # A failed cell comes back as a structured CellFailure result; most
+    # figure drivers then choke assembling their table.  The sweep/json
+    # accounting below must survive that, so the driver is guarded and
+    # the error carried into the payload instead of aborting the CLI.
+    error: Optional[str] = None
+    try:
+        if name == "fig2":
+            from repro.experiments.fig2_batch_interval import run_fig2
 
-        kwargs = {"workload": args.workload} if args.workload else {}
-        print(run_fig2(seed=args.seed, runner=runner,
-                       count_only=args.count_only, **kwargs).to_table())
-    elif name == "fig3":
-        from repro.experiments.fig3_executors import run_fig3
+            kwargs = {"workload": args.workload} if args.workload else {}
+            print(run_fig2(seed=args.seed, runner=runner,
+                           count_only=args.count_only, **kwargs).to_table())
+        elif name == "fig3":
+            from repro.experiments.fig3_executors import run_fig3
 
-        kwargs = {"workload": args.workload} if args.workload else {}
-        print(run_fig3(seed=args.seed, runner=runner,
-                       count_only=args.count_only, **kwargs).to_table())
-    elif name == "fig5":
-        from repro.experiments.fig5_rates import run_fig5
+            kwargs = {"workload": args.workload} if args.workload else {}
+            print(run_fig3(seed=args.seed, runner=runner,
+                           count_only=args.count_only, **kwargs).to_table())
+        elif name == "fig5":
+            from repro.experiments.fig5_rates import run_fig5
 
-        print(run_fig5(seed=args.seed, runner=runner).to_table())
-    elif name == "fig7":
-        from repro.experiments.fig6_evolution import PAPER_WORKLOADS
-        from repro.experiments.fig7_improvement import run_fig7
+            print(run_fig5(seed=args.seed, runner=runner).to_table())
+        elif name == "fig7":
+            from repro.experiments.fig6_evolution import PAPER_WORKLOADS
+            from repro.experiments.fig7_improvement import run_fig7
 
-        workloads = [args.workload] if args.workload else PAPER_WORKLOADS
-        print(run_fig7(repeats=args.repeats, rounds=args.rounds,
-                       base_seed=args.seed, workloads=workloads,
-                       runner=runner, count_only=args.count_only).to_table())
-    elif name == "fig8":
-        from repro.experiments.fig6_evolution import PAPER_WORKLOADS
-        from repro.experiments.fig8_spsa_vs_bo import run_fig8
+            workloads = [args.workload] if args.workload else PAPER_WORKLOADS
+            print(run_fig7(repeats=args.repeats, rounds=args.rounds,
+                           base_seed=args.seed, workloads=workloads,
+                           runner=runner,
+                           count_only=args.count_only).to_table())
+        elif name == "fig8":
+            from repro.experiments.fig6_evolution import PAPER_WORKLOADS
+            from repro.experiments.fig8_spsa_vs_bo import run_fig8
 
-        workloads = [args.workload] if args.workload else PAPER_WORKLOADS
-        print(run_fig8(repeats=args.repeats, rounds=args.rounds,
-                       base_seed=args.seed, workloads=workloads,
-                       runner=runner, count_only=args.count_only).to_table())
-    else:
-        print(f"unknown sweep {args.name!r}; expected fig2/fig3/fig5/fig7/fig8",
-              file=sys.stderr)
-        return 2
+            workloads = [args.workload] if args.workload else PAPER_WORKLOADS
+            print(run_fig8(repeats=args.repeats, rounds=args.rounds,
+                           base_seed=args.seed, workloads=workloads,
+                           runner=runner,
+                           count_only=args.count_only).to_table())
+        else:
+            print(
+                f"unknown sweep {args.name!r}; "
+                "expected fig2/fig3/fig5/fig7/fig8",
+                file=sys.stderr,
+            )
+            return 2
+    except Exception as exc:  # noqa: BLE001 - reported in payload/stderr
+        error = f"{type(exc).__name__}: {exc}"
+        print(f"sweep driver failed: {error}", file=sys.stderr)
 
     t = runner.totals
     print(
         f"\nsweep: {t.cells} cells | {t.cache_hits} cache hits, "
-        f"{t.executed} executed ({t.batches_executed} batches simulated) | "
+        f"{t.executed} executed ({t.batches_executed} batches simulated), "
+        f"{t.failed} failed | "
         f"{t.workers} worker(s), {t.wall_seconds:.2f}s wall | "
         f"cache: {cache_dir}",
         file=sys.stderr,
     )
+    for failure in runner.failures:
+        print(
+            f"  cell {failure.get('cellIndex')} "
+            f"({failure.get('cellKind')}): {failure.get('failure')} "
+            f"after {failure.get('attempts')} attempt(s) — "
+            f"{failure.get('error')}",
+            file=sys.stderr,
+        )
     if args.json:
         payload = {
             "sweep": name,
+            "status": "error" if error else ("failed" if t.failed else "ok"),
+            "error": error,
             "cells": t.cells,
             "cacheHits": t.cache_hits,
             "cacheMisses": t.cache_misses,
             "executed": t.executed,
+            "failed": t.failed,
+            "retries": t.retries,
+            "timeouts": t.timeouts,
+            "poolRebuilds": t.pool_rebuilds,
+            "journalReplayed": t.journal_replayed,
+            "cacheSelfHealed": t.cache_self_healed,
             "batchesExecuted": t.batches_executed,
             "workers": t.workers,
             "wallSeconds": t.wall_seconds,
             "cacheDir": str(cache_dir),
+            "journal": str(journal_path) if journal_path else None,
             "versionTag": cache.version_tag,
+            "cellFailures": runner.failures,
         }
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"sweep stats written to {args.json}", file=sys.stderr)
+    if (t.failed or error) and args.strict:
+        return 1
     return 0
 
 
@@ -513,7 +560,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "(deterministic, but not byte-identical to the "
                         "default per-tick path)")
     p.add_argument("--json", default=None,
-                   help="write sweep/cache accounting as JSON")
+                   help="write sweep/cache accounting as JSON (always a "
+                        "valid document, even when cells fail)")
+    p.add_argument("--journal", default=None,
+                   help="write-ahead journal (JSONL) recording every "
+                        "completed cell for crash-safe resume")
+    p.add_argument("--resume", default=None, metavar="JOURNAL",
+                   help="resume an interrupted sweep from its journal "
+                        "(implies --journal JOURNAL)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per failing cell before it becomes a "
+                        "structured CellFailure result")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell timeout in seconds (forces pooled "
+                        "execution so hung cells can be terminated)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 if any cell failed (default: degrade "
+                        "gracefully and exit 0)")
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("compare", help="compare optimizers on one workload")

@@ -157,6 +157,33 @@ class MetricsCollector:
         self._window = self.base_window
         self._buffer.clear()
 
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of the resumable window state.
+
+        The in-progress batch buffer is deliberately *not* serialized:
+        every probe begins with :meth:`start_measurement`, which clears
+        it, so dropping it loses nothing — while ``total_skipped`` must
+        survive because every future :class:`Measurement` echoes it.
+        """
+        return {
+            "window": int(self._window),
+            "degraded": bool(self._degraded),
+            "totalSkipped": int(self.total_skipped),
+            "outliersRejected": int(self.outliers_rejected),
+            "lastTainted": bool(self.last_tainted),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume from a :meth:`checkpoint` snapshot."""
+        self._window = int(state["window"])
+        self._degraded = bool(state["degraded"])
+        self.total_skipped = int(state["totalSkipped"])
+        self.outliers_rejected = int(state["outliersRejected"])
+        self.last_tainted = bool(state["lastTainted"])
+        self._buffer.clear()
+        self._retries_used = 0
+        self._window_rejected = 0
+
     def start_measurement(self) -> None:
         """Discard buffered batches from a previous configuration.
 

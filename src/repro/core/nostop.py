@@ -299,6 +299,33 @@ class NoStopController:
             num_executors=executors,
         )
 
+    # -- checkpoint / restore ------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """Serialize full resumable tuner state (JSON-safe).
+
+        Captures the SPSA iterate and RNG state, gain-schedule position,
+        ρ schedule, pause-rule evaluation history, metrics-collector
+        window, rate-monitor window, and round/pause bookkeeping — the
+        alternative to the paper's throw-it-all-away §5.5 restart.  See
+        :mod:`repro.core.checkpoint`.
+        """
+        from .checkpoint import controller_checkpoint
+
+        return controller_checkpoint(self)
+
+    def restore(self, state: dict, reapply: bool = False) -> None:
+        """Resume from a :meth:`checkpoint` snapshot.
+
+        On the same live system (``reapply=False``) the continuation is
+        bit-exact; ``reapply=True`` additionally re-applies the
+        checkpointed configuration, as a restarted driver must.
+        Records a ``"restore"`` audit firing either way.
+        """
+        from .checkpoint import controller_restore
+
+        controller_restore(self, state, reapply=reapply)
+
     # -- control rounds ------------------------------------------------------
 
     def run_round(self) -> RoundRecord:

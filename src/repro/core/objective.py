@@ -66,3 +66,11 @@ class RhoSchedule:
     def reset(self) -> None:
         """Return to the initial ρ (used on an optimization restart)."""
         self._value = self.initial
+
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of the schedule position."""
+        return {"value": float(self._value)}
+
+    def restore(self, state: dict) -> None:
+        """Resume from a :meth:`checkpoint` snapshot."""
+        self._value = float(state["value"])

@@ -172,3 +172,35 @@ class PauseRule:
     def reset(self) -> None:
         """Clear history (used by ``resetCoefficient``, §5.5)."""
         self._history.clear()
+
+    def checkpoint(self) -> list:
+        """JSON-safe snapshot of the full evaluation history."""
+        return [
+            {
+                "theta": [float(v) for v in e.theta],
+                "objective": float(e.objective),
+                "endToEndDelay": float(e.end_to_end_delay),
+                "iteration": int(e.iteration),
+                "batchInterval": float(e.batch_interval),
+                "numExecutors": int(e.num_executors),
+                "meanProcessingTime": float(e.mean_processing_time),
+                "stable": bool(e.stable),
+            }
+            for e in self._history
+        ]
+
+    def restore(self, state: list) -> None:
+        """Resume from a :meth:`checkpoint` snapshot."""
+        self._history = [
+            EvaluatedConfig(
+                theta=tuple(float(v) for v in d["theta"]),
+                objective=float(d["objective"]),
+                end_to_end_delay=float(d["endToEndDelay"]),
+                iteration=int(d["iteration"]),
+                batch_interval=float(d["batchInterval"]),
+                num_executors=int(d["numExecutors"]),
+                mean_processing_time=float(d["meanProcessingTime"]),
+                stable=bool(d["stable"]),
+            )
+            for d in state
+        ]

@@ -91,6 +91,21 @@ class RateMonitor:
             return False
         return self.current_std() > self.threshold
 
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot: window contents, hysteresis, reset count."""
+        return {
+            "rates": [float(r) for r in self._rates],
+            "cooldownLeft": int(self._cooldown_left),
+            "resetsTriggered": int(self.resets_triggered),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume from a :meth:`checkpoint` snapshot (same-config monitor)."""
+        self._rates.clear()
+        self._rates.extend(float(r) for r in state["rates"])
+        self._cooldown_left = int(state["cooldownLeft"])
+        self.resets_triggered = int(state["resetsTriggered"])
+
     def acknowledge_reset(self) -> None:
         """Clear the window after a reset so one surge fires one restart,
         and arm the cooldown so the next ``cooldown`` observations cannot

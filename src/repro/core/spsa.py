@@ -88,6 +88,30 @@ class SPSAOptimizer:
         self.k = 0
         self.history.clear()
 
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of the optimizer's full resumable state.
+
+        Covers the iterate θ, the gain-schedule position k, the initial
+        point (reset target), and the exact bit-generator state — a
+        restored optimizer draws the identical perturbation sequence the
+        original would have.  The iteration history is *not* serialized:
+        it is explanatory output, never an input to future steps.
+        """
+        return {
+            "k": int(self.k),
+            "theta": [float(v) for v in self.theta],
+            "thetaInitial": [float(v) for v in self._theta_initial],
+            "rngState": self.rng.bit_generator.state,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Resume from a :meth:`checkpoint` snapshot, bit-exactly."""
+        self.k = int(state["k"])
+        self.theta = np.asarray(state["theta"], dtype=float)
+        self._theta_initial = np.asarray(state["thetaInitial"], dtype=float)
+        self.rng.bit_generator.state = state["rngState"]
+        self.history.clear()
+
     def propose(self) -> tuple:
         """Generate this iteration's perturbed probe pair (θ⁺, θ⁻, Δ, c_k).
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.stats import Summary, improvement_factor, summarize
 from repro.analysis.tables import format_table
 from repro.baselines.fixed import DEFAULT_CONFIGURATION
-from repro.runner import SweepRunner, SweepSpec
+from repro.runner import SweepRunner, SweepSpec, is_failure
 from repro.runner.cells import execute_cell
 
 from .common import paper_repeat_seeds
@@ -33,6 +33,9 @@ class WorkloadImprovement:
     default_delays: List[float] = field(default_factory=list)
     final_intervals: List[float] = field(default_factory=list)
     final_executors: List[int] = field(default_factory=list)
+    failed_repeats: int = 0
+    """Repeats dropped because a cell failed (supervised sweeps degrade
+    to fewer repeats instead of losing the whole figure)."""
 
     @property
     def nostop(self) -> Summary:
@@ -119,10 +122,15 @@ def fig7_measure_spec(
 
     Each repeat contributes two cells — NoStop's final configuration and
     the untuned default — both measured with the repeat's ``seed + 7``,
-    exactly the sequential protocol.
+    exactly the sequential protocol.  A repeat whose optimization cell
+    failed contributes nothing, but surviving repeats keep their
+    *original* rep number so their measurement seeds are unchanged —
+    with no failures the spec is byte-identical to the unsupervised one.
     """
     cases = []
     for rep, report in enumerate(reports):
+        if is_failure(report):
+            continue
         seed = base_seed + 100 * rep + 7
         cases.append(
             {
@@ -183,15 +191,20 @@ def run_fig7_one(
         )
     )
     result = WorkloadImprovement(workload=workload)
-    for rep, report in enumerate(optimize.results):
+    survivors = [r for r in optimize.results if not is_failure(r)]
+    result.failed_repeats = len(optimize.results) - len(survivors)
+    # measure.results pairs up with survivors in order: fig7_measure_spec
+    # skipped failed repeats, so surviving repeat i owns cells 2i, 2i+1.
+    for i, report in enumerate(survivors):
+        nostop_cell = measure.results[2 * i]
+        default_cell = measure.results[2 * i + 1]
+        if is_failure(nostop_cell) or is_failure(default_cell):
+            result.failed_repeats += 1
+            continue
         result.final_intervals.append(report["finalInterval"])
         result.final_executors.append(report["finalExecutors"])
-        result.nostop_delays.append(
-            measure.results[2 * rep]["meanEndToEndDelay"]
-        )
-        result.default_delays.append(
-            measure.results[2 * rep + 1]["meanEndToEndDelay"]
-        )
+        result.nostop_delays.append(nostop_cell["meanEndToEndDelay"])
+        result.default_delays.append(default_cell["meanEndToEndDelay"])
     return result
 
 

@@ -110,10 +110,11 @@ class SPSADecision:
 
 @dataclass(frozen=True)
 class RuleFiring:
-    """A §5 operational rule taking effect (pause / resume / reset)."""
+    """A §5 operational rule taking effect, or a checkpoint recovery."""
 
     kind: str
-    """``"pause"``, ``"resume"``, or ``"reset"``."""
+    """``"pause"``, ``"resume"``, ``"reset"``, or ``"restore"``
+    (controller rebuilt from a checkpoint after a driver failure)."""
     round_index: int
     sim_time: float
     detail: str = ""
@@ -155,7 +156,7 @@ class AuditTrail:
     ) -> None:
         if not self.enabled:
             return
-        if kind not in ("pause", "resume", "reset"):
+        if kind not in ("pause", "resume", "reset", "restore"):
             raise ValueError(f"unknown rule kind {kind!r}")
         self.firings.append(
             RuleFiring(

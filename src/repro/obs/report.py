@@ -151,6 +151,10 @@ class RunReport:
     """CUSUM vs NoStop's §5.5 restart rule: did they reach the same
     conclusion about whether the input rate shifted?  None when neither
     signal was available (no audit trail)."""
+    resources: Dict[str, float] = field(default_factory=dict)
+    """Sweep-runner/supervisor resource counters captured from the
+    metrics registry (cache hits, retries, journal replays, ...) —
+    empty when the run did no sweep work."""
 
     @property
     def critical_breach(self) -> bool:
@@ -217,6 +221,7 @@ class RunReport:
             "decisions": self.decisions,
             "guardedDecisions": self.guarded_decisions,
             "rateShiftAgreement": self.rate_shift_agreement,
+            "resources": dict(sorted(self.resources.items())),
         }
 
     def to_json(self) -> str:
@@ -321,6 +326,14 @@ class RunReport:
                 f"  ({self.orphan_fault_events} fault event(s) had no "
                 f"matching trace span)"
             )
+
+        out.append("")
+        out.append("-- resources --")
+        if self.resources:
+            for name, value in sorted(self.resources.items()):
+                out.append(f"  {name} = {value:g}")
+        else:
+            out.append("  (no sweep activity)")
 
         out.append("")
         out.append("-- SPSA --")
@@ -544,6 +557,14 @@ class RunReport:
                 if self.orphan_fault_events
                 else ""
             ),
+            "<h2>Resources</h2>",
+            table(
+                ["counter", "value"],
+                [
+                    [e(name), f"{value:g}"]
+                    for name, value in sorted(self.resources.items())
+                ],
+            ) if self.resources else "<p>(no sweep activity)</p>",
             "<h2>SPSA</h2>",
             f"<p>{self.decisions} decisions ({self.guarded_decisions} "
             f"guarded); watchdog scanned {self.watchdog.rounds_scanned} "
@@ -633,6 +654,27 @@ def build_run_report(
         fault_mttrs=mttr_pairs or None, registry=telemetry.metrics
     )
 
+    # Sweep-runner/supervisor resource accounting: whatever of the
+    # runner-side counters this run's registry saw.  A judged chaos run
+    # with no sweep activity reports an empty section, deterministically.
+    resources: Dict[str, float] = {}
+    for metric_name in (
+        "repro_runner_cells_total",
+        "repro_runner_cache_hits_total",
+        "repro_runner_cache_misses_total",
+        "repro_runner_cells_executed_total",
+        "repro_runner_cache_self_heal_total",
+        "repro_runner_journal_corrupt_total",
+        "repro_supervisor_retries_total",
+        "repro_supervisor_timeouts_total",
+        "repro_supervisor_pool_rebuilds_total",
+        "repro_supervisor_cell_failures_total",
+        "repro_supervisor_journal_replays_total",
+    ):
+        metric = telemetry.metrics.get(metric_name)
+        if metric is not None:
+            resources[metric_name] = float(metric.value)
+
     profile = profile_spans(telemetry.tracer.spans)
     wd_report = (watchdog or SpsaWatchdog()).scan(telemetry.audit)
 
@@ -677,4 +719,5 @@ def build_run_report(
             1 for d in telemetry.audit.decisions if d.guarded
         ),
         rate_shift_agreement=agreement,
+        resources=resources,
     )

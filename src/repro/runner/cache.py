@@ -77,6 +77,22 @@ def substrate_version_tag(refresh: bool = False) -> str:
     return _VERSION_TAG
 
 
+def cell_digest(cell: SweepCell, version_tag: str) -> str:
+    """Content digest of one cell on one substrate version.
+
+    The single identity shared by the result cache and the sweep
+    journal: sha256 over the canonical (kind, params, version) triple.
+    """
+    payload = canonical_json(
+        {
+            "kind": cell.kind,
+            "params": cell.param_dict,
+            "version": version_tag,
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 class ResultCache:
     """On-disk cell-result cache keyed by (kind, params, substrate)."""
 
@@ -87,16 +103,13 @@ class ResultCache:
     ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.version_tag = version_tag or substrate_version_tag()
+        #: Corrupt entries dropped by :meth:`get` over this cache's
+        #: lifetime (the self-heal count the runner surfaces as
+        #: ``repro_runner_cache_self_heal_total``).
+        self.self_healed = 0
 
     def key(self, cell: SweepCell) -> str:
-        payload = canonical_json(
-            {
-                "kind": cell.kind,
-                "params": cell.param_dict,
-                "version": self.version_tag,
-            }
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return cell_digest(cell, self.version_tag)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -112,6 +125,7 @@ class ResultCache:
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Unreadable or malformed: drop it so the slot heals itself.
+            self.self_healed += 1
             try:
                 path.unlink()
             except OSError:

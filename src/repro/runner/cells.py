@@ -236,6 +236,67 @@ def _bo_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+@register_cell("fault_probe")
+def _fault_probe_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Synthetic failure cell exercising the supervisor.
+
+    Not a simulation — a controllable fault source for supervisor,
+    journal, and CI recovery tests.  Modes:
+
+    * ``ok`` — succeed immediately;
+    * ``crash`` — raise (a retryable, then poisoned, crash);
+    * ``hang`` — sleep ``hang_seconds`` (trips the per-cell timeout);
+    * ``kill`` — hard-exit the worker process (the BrokenProcessPool /
+      OOM-kill condition);
+    * ``flaky`` — fail the first ``fail_times`` attempts, tracked in a
+      counter file under ``state_dir``, then succeed (exercises retry
+      recovery).
+
+    ``flaky`` reads filesystem state, so fault_probe results are
+    impure: every result carries ``noCache`` and the runner never
+    caches them.
+    """
+    import time as _time
+
+    mode = str(_pop(params, "mode", "ok"))
+    tag = str(_pop(params, "tag", "probe"))
+    hang_seconds = float(_pop(params, "hang_seconds", 30.0))
+    fail_times = int(_pop(params, "fail_times", 1))
+    state_dir = params.pop("state_dir", None)
+    if params:
+        raise TypeError(f"fault_probe: unknown params {sorted(params)}")
+
+    if mode == "crash":
+        raise RuntimeError(f"fault_probe[{tag}]: injected crash")
+    if mode == "hang":
+        _time.sleep(hang_seconds)
+    elif mode == "kill":
+        import os as _os
+
+        _os._exit(137)
+    elif mode == "flaky":
+        if state_dir is None:
+            raise TypeError("fault_probe: flaky mode needs state_dir")
+        from pathlib import Path as _Path
+
+        counter = _Path(state_dir) / f"flaky_{tag}.count"
+        seen = int(counter.read_text()) if counter.exists() else 0
+        if seen < fail_times:
+            counter.parent.mkdir(parents=True, exist_ok=True)
+            counter.write_text(str(seen + 1))
+            raise RuntimeError(
+                f"fault_probe[{tag}]: flaky failure {seen + 1}/{fail_times}"
+            )
+    elif mode != "ok":
+        raise TypeError(f"fault_probe: unknown mode {mode!r}")
+    return {
+        "mode": mode,
+        "tag": tag,
+        "batchesExecuted": 0,
+        "noCache": True,
+    }
+
+
 @register_cell("rate_series")
 def _rate_series_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     """Sample one workload's paper rate trace (Fig. 5)."""

@@ -192,3 +192,34 @@ class TestJudgedChaosRun:
     def test_watchdog_scanned_the_audit_trail(self, judged):
         assert judged.report.decisions > 0
         assert judged.report.watchdog.rounds_scanned > 0
+
+
+class TestResourcesSection:
+    def test_sweep_counters_land_in_resources(self):
+        from repro.runner import SweepRunner, SweepSpec
+
+        telemetry = Telemetry(enabled=True)
+        runner = SweepRunner(telemetry=telemetry)
+        runner.run(SweepSpec(
+            name="r", kind="rate_series",
+            base={"duration": 30.0, "dt": 5.0, "seed": 1},
+            grid={"workload": ["wordcount", "page_analyze"]},
+        ))
+        report = build_run_report(RunJudge(), telemetry, title="t")
+        assert report.resources["repro_runner_cells_total"] == 2.0
+        assert report.resources["repro_runner_cache_misses_total"] == 2.0
+        assert "repro_supervisor_retries_total" in report.resources
+        text = report.render_text()
+        assert "-- resources --" in text
+        assert "repro_runner_cells_total = 2" in text
+        assert "Resources" in report.render_html()
+        assert json.loads(report.to_json())["resources"][
+            "repro_runner_cells_total"
+        ] == 2.0
+
+    def test_no_sweep_activity_renders_fallback(self):
+        telemetry = Telemetry(enabled=True)
+        report = build_run_report(RunJudge(), telemetry, title="t")
+        assert report.resources == {}
+        assert "(no sweep activity)" in report.render_text()
+        assert "(no sweep activity)" in report.render_html()
