@@ -11,13 +11,22 @@ Three configurations of the same fixed-seed NoStop run:
 
 Wall times are medians over repeated runs because a single ~1 s run is
 too noisy to support a 5% claim.
+
+The second benchmark microbenchmarks the metrics-governance hot paths
+added by the labeled-family work: a bound family child must cost the
+same as a flat counter (binding happens once at instrument time), the
+``labels()`` lookup itself is the interning dict hit, and the emission
+batcher's per-event cost is an append plus one float compare.  Numbers
+are recorded for trend-watching; the only hard assertion is that the
+*disabled* family path (no-op registry) stays no-op cheap.
 """
 
 import statistics
 import time
 
 from repro.experiments.common import build_experiment, make_controller
-from repro.obs import Telemetry
+from repro.obs import EmissionBatcher, MetricsRegistry, NOOP_REGISTRY, Telemetry
+from repro.obs.catalog import instrument
 
 from .conftest import emit, run_once
 
@@ -77,4 +86,63 @@ def test_telemetry_overhead(benchmark):
     assert result["disabled_overhead"] < MAX_DISABLED_OVERHEAD, (
         f"disabled telemetry cost {result['disabled_overhead']:.1%}, "
         f"bound is {MAX_DISABLED_OVERHEAD:.0%}"
+    )
+
+
+HOT_ITERS = 200_000
+
+
+def _time_loop(fn, iters=HOT_ITERS):
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        fn()
+    return (time.perf_counter() - t0) / iters * 1e9  # ns/op
+
+
+def run_labeled_hot_paths():
+    reg = MetricsRegistry()
+    flat = instrument(reg, "repro_nostop_rounds_total")
+    fam = instrument(reg, "repro_chaos_injections_total")
+    bound = fam.labels(kind="crash")
+    noop_fam = instrument(NOOP_REGISTRY, "repro_chaos_injections_total")
+    batcher = EmissionBatcher(lambda events: None, registry=reg,
+                              flush_interval=1e12)
+    event = {"event": "bench", "n": 1}
+    clock = iter(range(10 * HOT_ITERS))
+    return {
+        "flat_inc_ns": _time_loop(flat.inc),
+        "bound_child_inc_ns": _time_loop(bound.inc),
+        "labels_lookup_inc_ns": _time_loop(
+            lambda: fam.labels(kind="crash").inc()
+        ),
+        "noop_family_labels_inc_ns": _time_loop(
+            lambda: noop_fam.labels(kind="crash").inc()
+        ),
+        "batcher_emit_ns": _time_loop(
+            lambda: batcher.emit(event, now=float(next(clock)))
+        ),
+    }
+
+
+def test_labeled_family_hot_paths(benchmark):
+    result = run_once(benchmark, run_labeled_hot_paths)
+    emit(
+        f"Labeled-family hot paths (ns/op over {HOT_ITERS:,} iters):\n"
+        f"  flat counter inc():          {result['flat_inc_ns']:8.1f}\n"
+        f"  bound family child inc():    {result['bound_child_inc_ns']:8.1f}\n"
+        f"  labels() lookup + inc():     {result['labels_lookup_inc_ns']:8.1f}\n"
+        f"  disabled family labels+inc:  {result['noop_family_labels_inc_ns']:8.1f}\n"
+        f"  emission batcher emit():     {result['batcher_emit_ns']:8.1f}"
+    )
+    # The disabled path must stay allocation-free: the no-op family hands
+    # back the shared no-op instrument, so a disabled labels()+inc() may
+    # not cost more than a handful of flat increments.  A generous 10x
+    # bound catches an accidental real-child allocation (~100x) without
+    # flaking on CI jitter.
+    assert result["noop_family_labels_inc_ns"] < max(
+        10 * result["flat_inc_ns"], 2000.0
+    ), (
+        "disabled labeled-family path is no longer no-op cheap: "
+        f"{result['noop_family_labels_inc_ns']:.0f}ns vs flat "
+        f"{result['flat_inc_ns']:.0f}ns"
     )

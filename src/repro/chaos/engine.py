@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import catalog
 from repro.streaming.context import StreamingContext
 
 from .events import FaultEvent, FaultSchedule
@@ -92,14 +93,17 @@ class ChaosEngine:
         self.records: List[EventRecord] = []
         self.telemetry = context.telemetry
         registry = self.telemetry.metrics
-        self._m_injections = registry.counter(
-            "repro_chaos_injections_total", "Fault events fired"
+        # Injection/recovery counters are labeled by fault kind (a small
+        # closed set — crash, straggler, skew, …) so a run report can say
+        # *what* fired, not just how often.
+        self._m_injections = catalog.instrument(
+            registry, "repro_chaos_injections_total"
         )
-        self._m_recoveries = registry.counter(
-            "repro_chaos_recoveries_total", "Fault events recovered"
+        self._m_recoveries = catalog.instrument(
+            registry, "repro_chaos_recoveries_total"
         )
-        self._m_active = registry.gauge(
-            "repro_chaos_active_faults", "Faults injected but not yet recovered"
+        self._m_active = catalog.instrument(
+            registry, "repro_chaos_active_faults"
         )
         context.add_boundary_hook(self.on_boundary)
 
@@ -186,7 +190,7 @@ class ChaosEngine:
                              recover_at=fire_time + event.duration)
             )
         self.records.append(record)
-        self._m_injections.inc()
+        self._m_injections.labels(kind=record.kind).inc()
         self._m_active.set(len(self._active))
         # Fault firings become span events on the batch being formed, so
         # a trace shows exactly which batch absorbed which fault and
@@ -203,7 +207,7 @@ class ChaosEngine:
             if af.recover_at <= boundary:
                 af.event.injector.recover(self.context, boundary)
                 af.record.recovered_at = boundary
-                self._m_recoveries.inc()
+                self._m_recoveries.labels(kind=af.record.kind).inc()
                 self.context.current_batch_span.add_event(
                     "chaos.recover", boundary,
                     event_id=af.record.event_id, fault=af.record.name,

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.obs import catalog
 from repro.streaming.context import StreamingContext
 from repro.streaming.metrics import BatchInfo
 
@@ -79,12 +80,14 @@ class InvariantEngine:
             context.engine.keep_runs = True
             context.engine.scheduler.record_tasks = True
         metrics = context.telemetry.metrics
-        self._m_violations = metrics.counter(
-            "repro_check_violations_total",
-            "Runtime invariant violations detected",
+        # Violations are a family labeled by invariant name (a closed set
+        # of engine identities), so a failing run says *which* invariant
+        # broke without a log dive.
+        self._m_violations = catalog.instrument(
+            metrics, "repro_check_violations_total"
         )
-        self._m_checks = metrics.counter(
-            "repro_check_checks_total", "Runtime invariant checks evaluated"
+        self._m_checks = catalog.instrument(
+            metrics, "repro_check_checks_total"
         )
         context.add_boundary_hook(self.on_boundary)
         context.listener.subscribe(self.on_batch)
@@ -93,7 +96,7 @@ class InvariantEngine:
 
     def _violate(self, invariant: str, time: float, message: str, **details):
         self.total_violations += 1
-        self._m_violations.inc()
+        self._m_violations.labels(invariant=invariant).inc()
         if len(self.violations) < self.max_recorded:
             self.violations.append(
                 InvariantViolation(

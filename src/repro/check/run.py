@@ -54,6 +54,7 @@ def run_check(
 ) -> CheckReport:
     """Run one check target end to end and return its report."""
     from repro.experiments.common import build_experiment, make_controller
+    from repro.obs import Telemetry, governance_report
 
     if target not in CHECK_TARGETS:
         raise ValueError(
@@ -62,7 +63,10 @@ def run_check(
     workload = workload or _DEFAULT_WORKLOADS[target]
     seed = _DEFAULT_SEEDS[target] if seed is None else seed
 
-    setup = build_experiment(workload, seed=seed)
+    # Telemetry is live so governance can diff the run's actual series
+    # against the catalog (tracing-parity CI guarantees telemetry is
+    # pure observation — it changes no simulated result).
+    setup = build_experiment(workload, seed=seed, telemetry=Telemetry())
     engine = InvariantEngine(setup.context)
     gate_oracles = True
 
@@ -90,6 +94,7 @@ def run_check(
         violations=list(engine.violations),
         oracles=run_oracles(setup, warmup=warmup),
         gate_oracles=gate_oracles,
+        governance=governance_report(setup.context.telemetry.metrics),
     )
 
     if metamorphic:

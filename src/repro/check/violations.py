@@ -99,6 +99,11 @@ class CheckReport:
     """Whether oracle failures fail the report (off for chaos runs,
     where analytic steady-state expectations legitimately do not hold
     during fault windows — invariants still gate)."""
+    governance: List[str] = field(default_factory=list)
+    """Metric-governance problems from the live run: series the catalog
+    does not know, kind/label-schema drift, convention violations.
+    Non-empty governance fails the report — an undeclared series is a
+    correctness bug in the observability contract."""
 
     @property
     def oracle_failures(self) -> List[OracleResult]:
@@ -109,6 +114,8 @@ class CheckReport:
         if self.violations:
             return False
         if self.gate_oracles and self.oracle_failures:
+            return False
+        if self.governance:
             return False
         return True
 
@@ -122,6 +129,7 @@ class CheckReport:
             "violations": [v.to_dict() for v in self.violations],
             "oracles": [o.to_dict() for o in self.oracles],
             "gate_oracles": self.gate_oracles,
+            "governance": list(self.governance),
             "ok": self.ok,
         }
 
@@ -143,6 +151,13 @@ class CheckReport:
         if self.oracles:
             lines.append("  oracles:")
             lines.extend(f"    {o.render()}" for o in self.oracles)
+        if self.governance:
+            lines.append(
+                f"  metric governance ({len(self.governance)}):"
+            )
+            lines.extend(f"    {g}" for g in self.governance)
+        else:
+            lines.append("  metric governance: clean")
         if not self.gate_oracles and self.oracle_failures:
             lines.append(
                 "  note: oracle deltas are informational for this target "

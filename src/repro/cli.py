@@ -8,7 +8,12 @@ Run ``python -m repro <command>``:
                   span timeline, optionally dumps spans / the SPSA audit
                   trail as JSONL;
 * ``metrics``   — NoStop run with metrics on: prints a Prometheus
-                  text-exposition snapshot or a human-readable summary;
+                  text-exposition snapshot, a human-readable summary, or
+                  JSON events (``--json``/``--filter``/``--events-out``);
+                  ``metrics catalog`` renders the declarative metric
+                  catalog (``--write`` regenerates docs, ``--check``
+                  fails on drift);
+* ``dash``      — generate the Grafana dashboard JSON from the catalog;
 * ``report``    — one judged chaos run distilled into a run report (SLO
                   verdicts, burn-rate alerts, anomalies, hotspots, MTTR,
                   SPSA history); exits 1 on a critical SLO breach;
@@ -89,12 +94,15 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _run_with_telemetry(args, task_detail: bool = False):
+def _run_with_telemetry(args, task_detail: bool = False,
+                        emitter_factory=None):
     """Shared setup for ``trace`` / ``metrics``: an instrumented run."""
     from repro.experiments.common import build_experiment, make_controller
     from repro.obs import Telemetry
 
     telemetry = Telemetry(enabled=True, task_detail=task_detail)
+    if emitter_factory is not None:
+        telemetry.attach_emitter(emitter_factory(telemetry.metrics))
     setup = build_experiment(args.workload, seed=args.seed,
                              telemetry=telemetry)
     controller = make_controller(setup, seed=args.seed)
@@ -128,15 +136,70 @@ def _cmd_trace(args) -> int:
     return 0
 
 
-def _cmd_metrics(args) -> int:
-    from repro.obs import prometheus_text, render_metrics_summary
+class _PrefixView:
+    """Registry view restricted to names starting with a prefix.
 
-    telemetry, _, _ = _run_with_telemetry(args)
-    if args.format == "prom":
-        text = prometheus_text(telemetry.metrics)
+    Exporters only need ``collect()``; the view keeps their output
+    ordering (and thus determinism) intact.
+    """
+
+    def __init__(self, registry, prefix: str) -> None:
+        self._registry = registry
+        self.prefix = prefix
+
+    def collect(self):
+        return [
+            m for m in self._registry.collect()
+            if m.name.startswith(self.prefix)
+        ]
+
+
+def _cmd_metrics(args) -> int:
+    if args.action == "catalog":
+        return _cmd_metrics_catalog(args)
+    import json as _json
+
+    from repro.obs import (
+        EmissionBatcher,
+        JsonlSink,
+        metric_events,
+        prometheus_text,
+        render_metrics_summary,
+    )
+
+    batcher = None
+
+    def _make_emitter(registry):
+        nonlocal batcher
+        batcher = EmissionBatcher(JsonlSink(args.events_out),
+                                  registry=registry)
+        return batcher
+
+    telemetry, setup, _ = _run_with_telemetry(
+        args,
+        emitter_factory=_make_emitter if args.events_out else None,
+    )
+
+    registry = telemetry.metrics
+    if args.filter:
+        view = _PrefixView(registry, args.filter)
+        if not view.collect():
+            print(f"no metric matches prefix {args.filter!r}",
+                  file=sys.stderr)
+            if batcher is not None:
+                telemetry.close_emitter()
+            return 2
+        registry = view
+
+    if args.json:
+        events = metric_events(registry, time=setup.context.time)
+        text = _json.dumps(events, indent=2, sort_keys=True)
+    elif args.format == "prom":
+        text = prometheus_text(registry)
     else:
-        text = render_metrics_summary(telemetry.metrics)
+        text = render_metrics_summary(registry)
     print(text)
+
     if args.out:
         if not text:
             # Empty-registry export is a no-op: never leave a zero-byte
@@ -146,6 +209,83 @@ def _cmd_metrics(args) -> int:
             with open(args.out, "w", encoding="utf-8") as fh:
                 fh.write(text + "\n")
             print(f"\nsnapshot written to {args.out}", file=sys.stderr)
+
+    if batcher is not None:
+        # Final registry snapshot rides the same pipeline as the
+        # per-batch events, then flush-on-close seals the file.
+        for event in metric_events(telemetry.metrics,
+                                   time=setup.context.time):
+            batcher.emit(event, now=setup.context.time)
+        telemetry.close_emitter()
+        print(
+            f"events written to {args.events_out} "
+            f"({batcher.flushed} shipped, {batcher.dropped} dropped, "
+            f"{batcher.flushes} flushes)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_metrics_catalog(args) -> int:
+    """Generate (or verify) the checked-in metric catalog docs."""
+    import os
+
+    from repro.obs import catalog_json, catalog_markdown, lint_catalog
+
+    problems = lint_catalog()
+    if problems:
+        for p in problems:
+            print(f"catalog lint: {p}", file=sys.stderr)
+        return 1
+
+    md = catalog_markdown()
+    js = catalog_json()
+    md_path = os.path.join(args.docs_dir, "METRICS.md")
+    json_path = os.path.join(args.docs_dir, "metrics.json")
+
+    if args.check:
+        stale = []
+        for path, want in ((md_path, md), (json_path, js)):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    have = fh.read()
+            except OSError:
+                have = None
+            if have != want:
+                stale.append(path)
+        if stale:
+            for path in stale:
+                print(f"stale generated file: {path} "
+                      "(run `repro metrics catalog --write`)",
+                      file=sys.stderr)
+            return 1
+        print("metrics catalog up to date")
+        return 0
+
+    if args.write:
+        os.makedirs(args.docs_dir, exist_ok=True)
+        with open(md_path, "w", encoding="utf-8") as fh:
+            fh.write(md)
+        with open(json_path, "w", encoding="utf-8") as fh:
+            fh.write(js)
+        print(f"wrote {md_path} and {json_path}")
+        return 0
+
+    print(md, end="")
+    return 0
+
+
+def _cmd_dash(args) -> int:
+    """Generate the Grafana dashboard JSON from the catalog."""
+    from repro.obs import dashboard_json
+
+    text = dashboard_json(title=args.title)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -503,12 +643,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the SPSA audit trail as JSONL")
     p.set_defaults(func=_cmd_trace)
 
-    p = sub.add_parser("metrics", help="NoStop run with metrics snapshot")
+    p = sub.add_parser(
+        "metrics",
+        help="metrics snapshot of a NoStop run, or the generated catalog",
+    )
+    p.add_argument("action", nargs="?", default="snapshot",
+                   choices=["snapshot", "catalog"],
+                   help="snapshot: instrumented run + registry dump; "
+                        "catalog: the declarative metric catalog docs")
     p.add_argument("--workload", default="wordcount", choices=sorted(WORKLOADS))
     p.add_argument("--rounds", type=int, default=10)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--format", choices=["prom", "summary"], default="summary")
+    p.add_argument("--json", action="store_true",
+                   help="snapshot as JSON events (sorted keys, one object "
+                        "per sample) instead of text")
+    p.add_argument("--filter", default=None, metavar="PREFIX",
+                   help="restrict the snapshot to metric names starting "
+                        "with PREFIX; exits 2 when nothing matches")
     p.add_argument("--out", default=None, help="also write the snapshot here")
+    p.add_argument("--events-out", default=None, metavar="JSONL",
+                   help="ship per-batch events and the final registry "
+                        "snapshot through the batched emission pipeline "
+                        "into this JSONL file")
+    p.add_argument("--check", action="store_true",
+                   help="catalog: verify the checked-in docs match the "
+                        "declarations (exit 1 on drift)")
+    p.add_argument("--write", action="store_true",
+                   help="catalog: regenerate docs/METRICS.md and "
+                        "docs/metrics.json")
+    p.add_argument("--docs-dir", default="docs",
+                   help="catalog: directory holding the generated docs")
     p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
@@ -611,6 +776,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None,
                    help="write the full check report as JSON")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "dash",
+        help="generate the Grafana dashboard JSON from the metric catalog",
+    )
+    p.add_argument("--out", default=None,
+                   help="write the dashboard here (default: stdout)")
+    p.add_argument("--title", default="NoStop repro telemetry")
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser(
         "lint",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs import catalog
 from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
 
 from .cluster import Cluster
@@ -61,17 +62,22 @@ class ResourceManager:
         self.instrument(NOOP_REGISTRY)
 
     def instrument(self, registry: MetricsRegistry) -> None:
-        """Bind telemetry instruments (no-op registry by default)."""
-        self._m_executors = registry.gauge(
-            "repro_cluster_executors", "Live executors in the pool"
+        """Bind telemetry instruments (no-op registry by default).
+
+        ``scale_ops`` is a labeled family (``direction``: up/down) so
+        dashboards can separate growth from shrink; both children are
+        bound eagerly since the schema is a closed two-value set.
+        """
+        self._m_executors = catalog.instrument(
+            registry, "repro_cluster_executors"
         )
-        self._m_scale_ops = registry.counter(
-            "repro_cluster_scale_ops_total",
-            "Executor-count reconfigurations performed",
+        scale_ops = catalog.instrument(
+            registry, "repro_cluster_scale_ops_total"
         )
-        self._m_failures = registry.counter(
-            "repro_cluster_executor_failures_total",
-            "Unplanned executor losses (crash injection)",
+        self._m_scale_up = scale_ops.labels(direction="up")
+        self._m_scale_down = scale_ops.labels(direction="down")
+        self._m_failures = catalog.instrument(
+            registry, "repro_cluster_executor_failures_total"
         )
 
     # -- queries --------------------------------------------------------
@@ -226,6 +232,6 @@ class ResourceManager:
                 self.remove_executor(v.executor_id)
         if delta != 0:
             self.reconfigurations += 1
-            self._m_scale_ops.inc()
+            (self._m_scale_up if delta > 0 else self._m_scale_down).inc()
         self._m_executors.set(self.executor_count)
         return delta

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import catalog
 from repro.obs.audit import SPSADecision, clipped_axes
 from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
@@ -171,15 +172,14 @@ class NoStopController:
         self.telemetry = telemetry or NOOP_TELEMETRY
         self.audit = self.telemetry.audit
         registry = self.telemetry.metrics
-        self._m_rounds = registry.counter(
-            "repro_nostop_rounds_total", "Control rounds executed"
+        self._m_rounds = catalog.instrument(
+            registry, "repro_nostop_rounds_total"
         )
-        self._m_guarded = registry.counter(
-            "repro_nostop_guarded_rounds_total",
-            "Rounds whose SPSA update was skipped over a corrupted probe",
+        self._m_guarded = catalog.instrument(
+            registry, "repro_nostop_guarded_rounds_total"
         )
-        self._m_resets = registry.counter(
-            "repro_nostop_resets_total", "§5.5 restarts triggered"
+        self._m_resets = catalog.instrument(
+            registry, "repro_nostop_resets_total"
         )
 
         self.paused = False

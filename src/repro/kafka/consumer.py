@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.obs import catalog
 from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
 
 from .topic import Topic
@@ -56,18 +57,21 @@ class DirectStreamConsumer:
         self.instrument(NOOP_REGISTRY)
 
     def instrument(self, registry: MetricsRegistry) -> None:
-        """Bind telemetry instruments (no-op registry by default)."""
-        self._m_consumed = registry.counter(
-            "repro_kafka_records_consumed_total",
-            "Records pulled from the topic by the direct-stream consumer",
+        """Bind telemetry instruments (no-op registry by default).
+
+        The consumed/lag series carry a ``topic`` label so multi-topic
+        runs stay distinguishable; the child is bound once here, keeping
+        the poll hot path label-free.
+        """
+        self._m_consumed = catalog.instrument(
+            registry, "repro_kafka_records_consumed_total"
+        ).labels(topic=self.topic.name)
+        self._m_polls = catalog.instrument(
+            registry, "repro_kafka_consumer_polls_total"
         )
-        self._m_polls = registry.counter(
-            "repro_kafka_consumer_polls_total", "Offset-range poll calls"
-        )
-        self._m_lag = registry.gauge(
-            "repro_kafka_consumer_lag_records",
-            "Records appended but not yet consumed",
-        )
+        self._m_lag = catalog.instrument(
+            registry, "repro_kafka_consumer_lag_records"
+        ).labels(topic=self.topic.name)
 
     @property
     def committed_offsets(self) -> List[int]:

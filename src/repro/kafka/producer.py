@@ -17,6 +17,7 @@ import math
 from typing import Optional
 
 from repro.datagen.rates import RateTrace
+from repro.obs import catalog
 from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
 
 from .topic import Topic
@@ -56,15 +57,17 @@ class RateControlledProducer:
         self.instrument(NOOP_REGISTRY)
 
     def instrument(self, registry: MetricsRegistry) -> None:
-        """Bind telemetry instruments (no-op registry by default)."""
-        self._m_produced = registry.counter(
-            "repro_kafka_records_produced_total",
-            "Records appended to the topic by the rate-controlled producer",
-        )
-        self._m_throttled = registry.counter(
-            "repro_kafka_records_throttled_total",
-            "Records dropped by the producer-side rate cap",
-        )
+        """Bind telemetry instruments (no-op registry by default).
+
+        Both series carry a ``topic`` label, bound once here so the
+        per-tick production loop stays label-free.
+        """
+        self._m_produced = catalog.instrument(
+            registry, "repro_kafka_records_produced_total"
+        ).labels(topic=self.topic.name)
+        self._m_throttled = catalog.instrument(
+            registry, "repro_kafka_records_throttled_total"
+        ).labels(topic=self.topic.name)
 
     @property
     def produced_until(self) -> float:

@@ -59,6 +59,22 @@ from .profiler import (
     profile_spans,
     render_hotspots,
 )
+from .catalog import (
+    CATALOG,
+    MetricSpec,
+    catalog_json,
+    catalog_markdown,
+    check_registry,
+    governance_report,
+    lint_catalog,
+)
+from .dash import build_dashboard, dashboard_json
+from .emit import (
+    EmissionBatcher,
+    JsonlSink,
+    metric_events,
+    parse_jsonl_events,
+)
 from .report import (
     FaultOutcome,
     RunJudge,
@@ -74,13 +90,20 @@ from .slo import (
     worst_breaches,
 )
 from .registry import (
+    CARDINALITY_REJECTED_NAME,
     DEFAULT_COUNT_BUCKETS,
+    DEFAULT_MAX_CHILDREN,
     DEFAULT_SECONDS_BUCKETS,
+    NOOP_FAMILY,
     NOOP_INSTRUMENT,
     NOOP_REGISTRY,
     Counter,
+    CounterFamily,
     Gauge,
+    GaugeFamily,
     Histogram,
+    HistogramFamily,
+    MetricFamily,
     MetricsRegistry,
 )
 from .span import NOOP_SPAN, Span, SpanEvent, TraceContext
@@ -101,6 +124,19 @@ __all__ = [
     "WatchdogReport",
     "escape_help_text",
     "escape_label_value",
+    "CATALOG",
+    "MetricSpec",
+    "catalog_json",
+    "catalog_markdown",
+    "check_registry",
+    "governance_report",
+    "lint_catalog",
+    "build_dashboard",
+    "dashboard_json",
+    "EmissionBatcher",
+    "JsonlSink",
+    "metric_events",
+    "parse_jsonl_events",
     "COMPONENT_SPANS",
     "PROCESSING_SPANS",
     "ComponentTime",
@@ -130,13 +166,20 @@ __all__ = [
     "save_spans",
     "spans_to_jsonl",
     "validate_prometheus_text",
+    "CARDINALITY_REJECTED_NAME",
     "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_MAX_CHILDREN",
     "DEFAULT_SECONDS_BUCKETS",
+    "NOOP_FAMILY",
     "NOOP_INSTRUMENT",
     "NOOP_REGISTRY",
     "Counter",
+    "CounterFamily",
     "Gauge",
+    "GaugeFamily",
     "Histogram",
+    "HistogramFamily",
+    "MetricFamily",
     "MetricsRegistry",
     "NOOP_SPAN",
     "Span",

@@ -1,0 +1,167 @@
+"""Grafana dashboard generation from the metric catalog.
+
+Dashboards are *generated*, never hand-edited: one row per owning
+subsystem, one panel per cataloged metric, panel shape decided by the
+metric kind —
+
+* **counter** → a rate timeseries (``rate(name[5m])``), summed over the
+  label schema so each label set is one series;
+* **gauge** → a plain timeseries of the instantaneous value;
+* **histogram** → a quantile timeseries (p50/p95/p99 via
+  ``histogram_quantile`` over the bucket rate).
+
+Output is byte-deterministic: panels are laid out in catalog order
+(subsystems sorted, names sorted within a subsystem), ids are assigned
+by enumeration, and the JSON renders with sorted keys — so the CI
+artifact diff is exactly the catalog diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .catalog import CATALOG, MetricSpec, _sorted_catalog
+
+#: Grafana schema version this generator targets.
+SCHEMA_VERSION = 39
+
+PANEL_WIDTH = 12
+PANEL_HEIGHT = 8
+PANELS_PER_ROW = 2
+
+
+def _legend(spec: MetricSpec) -> str:
+    if spec.labels:
+        return "{{" + "}} / {{".join(spec.labels) + "}}"
+    return spec.name
+
+
+def _targets(spec: MetricSpec) -> List[Dict[str, object]]:
+    by = ", ".join(spec.labels)
+    if spec.kind == "counter":
+        expr = (
+            f"sum by ({by}) (rate({spec.name}[5m]))"
+            if spec.labels else f"rate({spec.name}[5m])"
+        )
+        return [{"expr": expr, "legendFormat": _legend(spec), "refId": "A"}]
+    if spec.kind == "gauge":
+        return [{
+            "expr": spec.name,
+            "legendFormat": _legend(spec),
+            "refId": "A",
+        }]
+    # histogram: quantile fan
+    group = f"le, {by}" if spec.labels else "le"
+    targets: List[Dict[str, object]] = []
+    for ref_id, q in (("A", 0.5), ("B", 0.95), ("C", 0.99)):
+        targets.append({
+            "expr": (
+                f"histogram_quantile({q}, sum by ({group}) "
+                f"(rate({spec.name}_bucket[5m])))"
+            ),
+            "legendFormat": f"p{int(q * 100)}"
+            + (f" {_legend(spec)}" if spec.labels else ""),
+            "refId": ref_id,
+        })
+    return targets
+
+
+_UNIT_MAP = {
+    "seconds": "s",
+    "bytes": "bytes",
+    "records": "short",
+    "count": "short",
+    "ratio": "percentunit",
+    "": "short",
+}
+
+
+def _panel(spec: MetricSpec, panel_id: int, x: int, y: int) -> Dict[str, object]:
+    title = spec.name
+    if spec.kind == "counter":
+        title += " (rate)"
+    elif spec.kind == "histogram":
+        title += " (quantiles)"
+    return {
+        "id": panel_id,
+        "type": "timeseries",
+        "title": title,
+        "description": spec.help
+        + (f" [labels: {', '.join(spec.labels)}; "
+           f"budget {spec.max_children}]" if spec.labels else "")
+        + f" [{spec.stability}]",
+        "datasource": {"type": "prometheus", "uid": "${datasource}"},
+        "fieldConfig": {
+            "defaults": {"unit": _UNIT_MAP[spec.unit]},
+            "overrides": [],
+        },
+        "gridPos": {
+            "h": PANEL_HEIGHT, "w": PANEL_WIDTH, "x": x, "y": y,
+        },
+        "targets": _targets(spec),
+    }
+
+
+def _row(title: str, row_id: int, y: int) -> Dict[str, object]:
+    return {
+        "id": row_id,
+        "type": "row",
+        "title": title,
+        "collapsed": False,
+        "gridPos": {"h": 1, "w": 24, "x": 0, "y": y},
+        "panels": [],
+    }
+
+
+def build_dashboard(
+    title: str = "NoStop repro telemetry",
+    catalog: Sequence[MetricSpec] = CATALOG,
+    uid: Optional[str] = "repro-metrics",
+) -> Dict[str, object]:
+    """Assemble the dashboard dict: one row per subsystem, deterministic."""
+    panels: List[Dict[str, object]] = []
+    next_id = 1
+    y = 0
+    for subsystem, specs in _sorted_catalog(catalog):
+        panels.append(_row(subsystem, next_id, y))
+        next_id += 1
+        y += 1
+        for i, spec in enumerate(specs):
+            col = i % PANELS_PER_ROW
+            if col == 0 and i > 0:
+                y += PANEL_HEIGHT
+            panels.append(_panel(spec, next_id, col * PANEL_WIDTH, y))
+            next_id += 1
+        y += PANEL_HEIGHT
+    return {
+        "uid": uid,
+        "title": title,
+        "tags": ["repro", "generated"],
+        "timezone": "utc",
+        "schemaVersion": SCHEMA_VERSION,
+        "refresh": "30s",
+        "time": {"from": "now-1h", "to": "now"},
+        "templating": {
+            "list": [{
+                "name": "datasource",
+                "type": "datasource",
+                "query": "prometheus",
+                "label": "Data source",
+            }],
+        },
+        "annotations": {"list": []},
+        "editable": False,
+        "panels": panels,
+    }
+
+
+def dashboard_json(
+    title: str = "NoStop repro telemetry",
+    catalog: Sequence[MetricSpec] = CATALOG,
+) -> str:
+    """The dashboard as byte-deterministic JSON (sorted keys)."""
+    return (
+        json.dumps(build_dashboard(title, catalog), indent=2, sort_keys=True)
+        + "\n"
+    )

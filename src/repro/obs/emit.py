@@ -1,0 +1,250 @@
+"""Batched telemetry emission: a bounded queue in front of a JSONL sink.
+
+Fleet-volume telemetry cannot afford a write syscall per event, and an
+unbounded buffer is a memory leak wearing a trench coat.  The
+:class:`EmissionBatcher` sits between instrumentation call sites and the
+JSONL exporter:
+
+* events are **enqueued** (cheap append) and flushed to the sink as one
+  batch per **sim-time flush interval** — the batcher is driven by
+  simulation time like everything else, so output is deterministic;
+* the queue is **bounded**: when full, the newest event is dropped and
+  the drop is accounted (``repro_obs_emit_dropped_total`` and
+  :attr:`EmissionBatcher.dropped`) — backpressure never propagates into
+  the simulation;
+* **flush-on-close** guarantees no tail loss on orderly shutdown.
+
+The default sink is :class:`JsonlSink` — one ``json.dumps(…,
+sort_keys=True)`` line per event, the same archive convention as span
+JSONL.  :func:`metric_events` snapshots a registry (flat metrics and
+family children alike) into emission events, which is how ``repro
+metrics --events-out`` ships periodic registry snapshots through the
+pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, TextIO, Union
+
+from . import catalog
+from .registry import (
+    NOOP_REGISTRY,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+#: An emission event is a flat JSON-serialisable dict.
+Event = Dict[str, object]
+
+Sink = Union["JsonlSink", Callable[[List[Event]], None]]
+
+DEFAULT_MAX_PENDING = 4096
+DEFAULT_FLUSH_INTERVAL = 10.0
+
+
+class JsonlSink:
+    """Append-only JSONL writer: one sorted-key object per line."""
+
+    def __init__(self, target: Union[str, TextIO]) -> None:
+        if isinstance(target, str):
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.lines_written = 0
+
+    def __call__(self, events: List[Event]) -> None:
+        for event in events:
+            self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self.lines_written += len(events)
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def parse_jsonl_events(text: str) -> List[Event]:
+    """Parse a :class:`JsonlSink` file back into events."""
+    events: List[Event] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed event on line {i}: {exc}") from exc
+    return events
+
+
+class EmissionBatcher:
+    """Bounded-queue, sim-time-interval batcher in front of a sink.
+
+    Parameters
+    ----------
+    sink:
+        Where flushed batches go — a :class:`JsonlSink` or any callable
+        taking a list of events.
+    registry:
+        Destination for the batcher's own accounting instruments
+        (enqueued / dropped / flushed counters, queue-length gauge).
+        Defaults to the no-op registry.
+    max_pending:
+        Hard queue bound.  An ``emit()`` against a full queue drops the
+        incoming event with accounting; it never blocks or grows.
+    flush_interval:
+        Simulated seconds between automatic flushes.  ``emit`` and
+        ``tick`` both advance the clock; a flush fires the first time
+        the interval has elapsed since the previous flush.
+    """
+
+    def __init__(
+        self,
+        sink: Sink,
+        registry: Optional[MetricsRegistry] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if flush_interval <= 0:
+            raise ValueError(
+                f"flush_interval must be > 0, got {flush_interval}"
+            )
+        self.sink = sink
+        self.max_pending = int(max_pending)
+        self.flush_interval = float(flush_interval)
+        self._pending: List[Event] = []
+        self._last_flush: Optional[float] = None
+        self.closed = False
+        #: Lifetime accounting (mirrored on the metrics below).
+        self.enqueued = 0
+        self.dropped = 0
+        self.flushed = 0
+        self.flushes = 0
+        reg = registry if registry is not None else NOOP_REGISTRY
+        self._m_enqueued = catalog.instrument(
+            reg, "repro_obs_emit_enqueued_total"
+        )
+        self._m_dropped = catalog.instrument(
+            reg, "repro_obs_emit_dropped_total"
+        )
+        self._m_flushed = catalog.instrument(
+            reg, "repro_obs_emit_flushed_total"
+        )
+        self._m_flushes = catalog.instrument(
+            reg, "repro_obs_emit_flushes_total"
+        )
+        self._m_queue = catalog.instrument(
+            reg, "repro_obs_emit_queue_length"
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def emit(self, event: Event, now: float) -> bool:
+        """Enqueue one event at sim time ``now``.
+
+        Returns False (with drop accounting) when the queue is full or
+        the batcher is closed; flushes first if the interval elapsed.
+        """
+        if self.closed:
+            return False
+        self.maybe_flush(now)
+        if len(self._pending) >= self.max_pending:
+            self.dropped += 1
+            self._m_dropped.inc()
+            return False
+        self._pending.append(event)
+        self.enqueued += 1
+        self._m_enqueued.inc()
+        self._m_queue.set(len(self._pending))
+        return True
+
+    def maybe_flush(self, now: float) -> bool:
+        """Flush if ``flush_interval`` simulated seconds have elapsed."""
+        if self._last_flush is None:
+            # First activity anchors the flush clock; nothing to ship.
+            self._last_flush = now
+            return False
+        if now - self._last_flush >= self.flush_interval:
+            self.flush(now)
+            return True
+        return False
+
+    def flush(self, now: Optional[float] = None) -> int:
+        """Ship everything pending to the sink as one batch."""
+        if now is not None:
+            self._last_flush = now
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self.sink(batch)
+        self.flushed += len(batch)
+        self.flushes += 1
+        self._m_flushed.inc(len(batch))
+        self._m_flushes.inc()
+        self._m_queue.set(0)
+        return len(batch)
+
+    def close(self) -> None:
+        """Flush the tail and close an owning sink.  Idempotent."""
+        if self.closed:
+            return
+        self.flush()
+        self.closed = True
+        close = getattr(self.sink, "close", None)
+        if close is not None:
+            close()
+
+
+# -- registry snapshots as events --------------------------------------------
+
+
+def _sample(
+    name: str,
+    kind: str,
+    metric: object,
+    time: float,
+    labels: Optional[Dict[str, str]] = None,
+) -> Event:
+    event: Event = {
+        "name": name,
+        "kind": kind,
+        "labels": labels or {},
+        "time": time,
+    }
+    if isinstance(metric, Histogram):
+        event["sum"] = metric.sum
+        event["count"] = metric.count
+        event["buckets"] = dict(
+            zip((repr(b) for b in metric.bounds), metric.cumulative_counts())
+        )
+    else:
+        event["value"] = metric.value  # type: ignore[attr-defined]
+    return event
+
+
+def metric_events(registry: MetricsRegistry, time: float = 0.0) -> List[Event]:
+    """Snapshot a registry as one event per sample, deterministic order.
+
+    Flat metrics yield one event; families yield one event per child
+    (sorted by label values).  This is the JSONL twin of the Prometheus
+    text exposition — same data, machine-shaped.
+    """
+    events: List[Event] = []
+    for metric in registry.collect():
+        name = metric.name  # type: ignore[attr-defined]
+        kind = metric.kind  # type: ignore[attr-defined]
+        if isinstance(metric, MetricFamily):
+            for values, child in metric.children():
+                labels = dict(zip(metric.labelnames, values))
+                events.append(_sample(name, kind, child, time, labels))
+        else:
+            events.append(_sample(name, kind, metric, time))
+    return events

@@ -17,7 +17,14 @@ import json
 import re
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramFamily,
+    MetricFamily,
+    MetricsRegistry,
+)
 from .span import Span
 
 # -- JSONL trace export ------------------------------------------------------
@@ -77,10 +84,50 @@ def escape_help_text(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
+def label_fragment(
+    labelnames: Sequence[str],
+    values: Sequence[str],
+    extra: Optional[str] = None,
+) -> str:
+    """``{k="v",…}`` sample-line fragment with escaped label values."""
+    pairs = [
+        f'{k}="{escape_label_value(v)}"'
+        for k, v in zip(labelnames, values)
+    ]
+    if extra is not None:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}"
+
+
+def _histogram_lines(
+    name: str,
+    hist: Histogram,
+    lines: List[str],
+    labelnames: Sequence[str] = (),
+    values: Sequence[str] = (),
+) -> None:
+    """Bucket/sum/count samples for one histogram (child), labels first,
+    ``le`` last, and the mandatory ``+Inf`` bucket always present."""
+    cumulative = hist.cumulative_counts()
+    for bound, count in zip(hist.bounds, cumulative):
+        frag = label_fragment(
+            labelnames, values, extra=f'le="{_fmt(bound)}"'
+        )
+        lines.append(f"{name}_bucket{frag} {count}")
+    inf_frag = label_fragment(labelnames, values, extra='le="+Inf"')
+    lines.append(f"{name}_bucket{inf_frag} {hist.count}")
+    suffix_frag = label_fragment(labelnames, values) if labelnames else ""
+    lines.append(f"{name}_sum{suffix_frag} {_fmt(hist.sum)}")
+    lines.append(f"{name}_count{suffix_frag} {hist.count}")
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render the registry in Prometheus text exposition format v0.0.4.
 
-    An empty registry renders to the empty string — callers writing
+    Labeled families render one ``HELP``/``TYPE`` pair followed by a
+    sample per child, children sorted by label values (deterministic); a
+    family with no children yet renders just its metadata lines.  An
+    empty registry renders to the empty string — callers writing
     snapshot files should treat that as "nothing to export" rather than
     producing a zero-byte scrape file.
     """
@@ -90,15 +137,20 @@ def prometheus_text(registry: MetricsRegistry) -> str:
         help_text = escape_help_text(metric.help or name)  # type: ignore[attr-defined]
         lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {metric.kind}")  # type: ignore[attr-defined]
-        if isinstance(metric, Histogram):
-            cumulative = metric.cumulative_counts()
-            for bound, count in zip(metric.bounds, cumulative):
-                lines.append(
-                    f'{name}_bucket{{le="{_fmt(bound)}"}} {count}'
-                )
-            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
-            lines.append(f"{name}_sum {_fmt(metric.sum)}")
-            lines.append(f"{name}_count {metric.count}")
+        if isinstance(metric, MetricFamily):
+            for values, child in metric.children():
+                if isinstance(metric, HistogramFamily):
+                    _histogram_lines(
+                        name, child, lines,  # type: ignore[arg-type]
+                        labelnames=metric.labelnames, values=values,
+                    )
+                else:
+                    frag = label_fragment(metric.labelnames, values)
+                    lines.append(
+                        f"{name}{frag} {_fmt(child.value)}"  # type: ignore[attr-defined]
+                    )
+        elif isinstance(metric, Histogram):
+            _histogram_lines(name, metric, lines)
         elif isinstance(metric, (Counter, Gauge)):
             lines.append(f"{name} {_fmt(metric.value)}")
     return "\n".join(lines) + "\n" if lines else ""
@@ -114,7 +166,7 @@ _SAMPLE_RE = re.compile(
     r"(,[a-zA-Z0-9_]+=\"" + _LABEL_VALUE + r"\")*\})? "
     r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
 )
-_LABEL_PAIR_RE = re.compile(r'[a-zA-Z0-9_]+="((?:[^"\\]|\\.)*)"')
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z0-9_]+)="((?:[^"\\]|\\.)*)"')
 #: A fully-valid label value: plain characters and complete escape pairs.
 #: Matched against the whole captured value (a lookahead-based stray-
 #: backslash scan would wrongly flag the second half of ``\\\\``).
@@ -128,14 +180,24 @@ def validate_prometheus_text(text: str) -> List[str]:
     samples with no preceding ``# TYPE``, label values with invalid
     escape sequences, histograms missing their mandatory ``+Inf``
     bucket, non-monotone histogram buckets, and ``_count`` disagreeing
-    with the ``+Inf`` bucket.  An empty snapshot (no-op export of an
+    with the ``+Inf`` bucket.  Histogram accounting is keyed per *child*
+    (base name + labels excluding ``le``), so labeled families validate
+    each label set independently.  An empty snapshot (no-op export of an
     empty registry) is valid.
     """
     problems: List[str] = []
     typed: Dict[str, str] = {}
-    buckets: Dict[str, List[float]] = {}
-    inf_bucket: Dict[str, float] = {}
-    counts: Dict[str, float] = {}
+    # Histogram series keyed per child: (base, sorted non-le label pairs).
+    buckets: Dict[tuple, List[float]] = {}
+    inf_bucket: Dict[tuple, float] = {}
+    counts: Dict[tuple, float] = {}
+
+    def _child_desc(key: tuple) -> str:
+        base, pairs = key
+        if not pairs:
+            return base
+        frag = ",".join(f'{k}="{v}"' for k, v in pairs)
+        return f"{base}{{{frag}}}"
 
     for i, line in enumerate(text.splitlines(), start=1):
         if not line:
@@ -155,13 +217,15 @@ def validate_prometheus_text(text: str) -> List[str]:
             problems.append(f"line {i}: unknown comment directive")
             continue
         bad_escape = False
+        pairs = []
         for m in _LABEL_PAIR_RE.finditer(line):
-            if not _LABEL_VALUE_OK_RE.match(m.group(1)):
+            if not _LABEL_VALUE_OK_RE.match(m.group(2)):
                 problems.append(
                     f"line {i}: invalid escape sequence in label value "
-                    f"{m.group(1)!r}"
+                    f"{m.group(2)!r}"
                 )
                 bad_escape = True
+            pairs.append((m.group(1), m.group(2)))
         if bad_escape:
             continue
         if not _SAMPLE_RE.match(line):
@@ -172,36 +236,38 @@ def validate_prometheus_text(text: str) -> List[str]:
         if name not in typed and base not in typed:
             problems.append(f"line {i}: sample {name!r} has no TYPE")
         value = float(line.rsplit(" ", 1)[1])
+        child = (base, tuple(sorted(p for p in pairs if p[0] != "le")))
         if name.endswith("_bucket"):
-            le_match = re.search(r'le="([^"]+)"', line)
-            if le_match is None:
+            le = dict(pairs).get("le")
+            if le is None:
                 problems.append(f"line {i}: histogram bucket missing le label")
                 continue
-            le = le_match.group(1)
             if le == "+Inf":
-                inf_bucket[base] = value
+                inf_bucket[child] = value
             else:
-                buckets.setdefault(base, []).append(value)
+                buckets.setdefault(child, []).append(value)
         elif name.endswith("_count") and typed.get(base) == "histogram":
-            counts[base] = value
+            counts[child] = value
 
-    for base, series in buckets.items():
+    for child, series in buckets.items():
+        desc = _child_desc(child)
         if any(b > a for a, b in zip(series[1:], series)):
-            problems.append(f"{base}: bucket counts not monotone")
-        if base in inf_bucket and series and series[-1] > inf_bucket[base]:
-            problems.append(f"{base}: +Inf bucket below last finite bucket")
-    # Every histogram must emit its mandatory +Inf bucket — a snapshot
-    # with finite buckets (or a _count) but no +Inf is unscrapeable.
-    histograms = {
-        name for name, kind in typed.items() if kind == "histogram"
-    }
-    for base in sorted(histograms | set(buckets) | set(counts)):
-        if typed.get(base) == "histogram" and base not in inf_bucket:
-            problems.append(f"{base}: histogram missing its +Inf bucket")
-    for base, n in counts.items():
-        if base in inf_bucket and n != inf_bucket[base]:
+            problems.append(f"{desc}: bucket counts not monotone")
+        if child in inf_bucket and series and series[-1] > inf_bucket[child]:
+            problems.append(f"{desc}: +Inf bucket below last finite bucket")
+    # Every histogram child must emit its mandatory +Inf bucket — a
+    # snapshot with finite buckets (or a _count) but no +Inf is
+    # unscrapeable.
+    for child in sorted(set(buckets) | set(counts)):
+        if typed.get(child[0]) == "histogram" and child not in inf_bucket:
             problems.append(
-                f"{base}: _count {n} disagrees with +Inf bucket {inf_bucket[base]}"
+                f"{_child_desc(child)}: histogram missing its +Inf bucket"
+            )
+    for child, n in counts.items():
+        if child in inf_bucket and n != inf_bucket[child]:
+            problems.append(
+                f"{_child_desc(child)}: _count {n} disagrees with "
+                f"+Inf bucket {inf_bucket[child]}"
             )
     return problems
 
@@ -253,19 +319,34 @@ def render_timeline(
     return "\n".join(lines).rstrip("\n")
 
 
+def _summary_line(name: str, metric: object) -> str:
+    if isinstance(metric, Histogram):
+        p50 = metric.quantile(0.50)
+        p95 = metric.quantile(0.95)
+        p99 = metric.quantile(0.99)
+        mean = metric.sum / metric.count if metric.count else 0.0
+        return (
+            f"{name}: n={metric.count} mean={mean:.3f} "
+            f"p50~{p50:.3f} p95~{p95:.3f} p99~{p99:.3f}"
+        )
+    return f"{name}: {_fmt(metric.value)}"  # type: ignore[attr-defined]
+
+
 def render_metrics_summary(registry: MetricsRegistry) -> str:
-    """Terminal-friendly one-line-per-metric summary."""
+    """Terminal-friendly summary: one line per metric (or family child)."""
     lines: List[str] = []
     for metric in registry.collect():
-        if isinstance(metric, Histogram):
-            p50 = metric.quantile(0.50)
-            p95 = metric.quantile(0.95)
-            p99 = metric.quantile(0.99)
-            mean = metric.sum / metric.count if metric.count else 0.0
-            lines.append(
-                f"{metric.name}: n={metric.count} mean={mean:.3f} "
-                f"p50~{p50:.3f} p95~{p95:.3f} p99~{p99:.3f}"
-            )
+        if isinstance(metric, MetricFamily):
+            if not len(metric):
+                lines.append(f"{metric.name}: (no children)")
+            for values, child in metric.children():
+                frag = label_fragment(metric.labelnames, values)
+                lines.append(_summary_line(f"{metric.name}{frag}", child))
+            if metric.rejected:
+                lines.append(
+                    f"{metric.name}: {metric.rejected} label set(s) "
+                    f"rejected over budget ({metric.max_children})"
+                )
         else:
-            lines.append(f"{metric.name}: {_fmt(metric.value)}")  # type: ignore[attr-defined]
+            lines.append(_summary_line(metric.name, metric))  # type: ignore[attr-defined]
     return "\n".join(lines)

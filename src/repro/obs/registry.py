@@ -6,6 +6,17 @@ character set Prometheus accepts, deduplicates by name (asking twice for
 the same metric returns the same instance), and renders through
 :func:`repro.obs.exporters.prometheus_text`.
 
+Beyond flat instruments, the registry serves **labeled metric families**
+(:class:`CounterFamily`, :class:`GaugeFamily`, :class:`HistogramFamily`):
+one name, an immutable label schema declared at creation, and interned
+per-label-set children.  Every family carries a hard **cardinality
+budget** (``max_children``); a ``labels()`` call that would mint a child
+beyond the budget gets the shared no-op instrument back and increments
+``repro_obs_cardinality_rejected_total`` — the registry never grows
+without bound, and the rejection is visible in telemetry instead of
+silent.  The schema of record for every family (and every flat metric)
+lives in :mod:`repro.obs.catalog`.
+
 Disabled telemetry uses :data:`NOOP_REGISTRY`, whose factory methods hand
 back shared do-nothing instruments — instrumented code holds real
 attribute references either way and pays only an empty method call when
@@ -19,6 +30,22 @@ import re
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 _NAME_RE = re.compile(r"^[a-z_:][a-z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+#: Label names the Prometheus data model reserves for itself.
+RESERVED_LABEL_NAMES = frozenset({"le", "quantile", "job", "instance"})
+
+#: Default per-family cardinality budget.  Generous for the bounded
+#: dimensions we label by (topic, fault kind, invariant name) and small
+#: enough that an accidental per-record label cannot explode a registry.
+DEFAULT_MAX_CHILDREN = 64
+
+#: The counter every family increments when its budget rejects a child.
+CARDINALITY_REJECTED_NAME = "repro_obs_cardinality_rejected_total"
+_CARDINALITY_REJECTED_HELP = (
+    "labels() calls rejected because the family cardinality budget "
+    "was already spent"
+)
 
 #: Default latency buckets (seconds), spanning sub-second task phases to
 #: the paper's 40 s maximum batch interval and deep-backlog delays.
@@ -171,6 +198,174 @@ class _NoopInstrument:
 NOOP_INSTRUMENT = _NoopInstrument()
 
 
+class MetricFamily:
+    """A named metric with an immutable label schema and interned children.
+
+    Children are created on first ``labels()`` call for a label set and
+    shared thereafter; call sites bind their child once (constructor
+    time) so the hot path touches only the child instrument.  The family
+    enforces its cardinality budget: once ``max_children`` distinct label
+    sets exist, further *new* label sets are rejected — the caller gets
+    :data:`NOOP_INSTRUMENT` (so instrumentation never raises mid-run) and
+    the rejection is counted on ``repro_obs_cardinality_rejected_total``
+    and on :attr:`rejected`.
+    """
+
+    kind = "family"  # overridden by subclasses
+    __slots__ = (
+        "name", "help", "labelnames", "max_children", "rejected",
+        "_children", "_rejected_counter",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        max_children: int,
+        rejected_counter: "Counter",
+    ) -> None:
+        names = tuple(labelnames)
+        if not names:
+            raise ValueError(
+                f"family {name} needs at least one label name; "
+                "use a flat instrument for unlabeled metrics"
+            )
+        if len(set(names)) != len(names):
+            raise ValueError(f"family {name} has duplicate label names")
+        for ln in names:
+            if not _LABEL_NAME_RE.match(ln):
+                raise ValueError(
+                    f"family {name}: invalid label name {ln!r}"
+                )
+            if ln in RESERVED_LABEL_NAMES:
+                raise ValueError(
+                    f"family {name}: label name {ln!r} is reserved"
+                )
+        if max_children < 1:
+            raise ValueError(
+                f"family {name}: max_children must be >= 1, got {max_children}"
+            )
+        self.name = name
+        self.help = help
+        self.labelnames = names
+        self.max_children = int(max_children)
+        #: labels() calls this family rejected over budget.
+        self.rejected = 0
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._rejected_counter = rejected_counter
+
+    def _make_child(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def labels(self, **labels: object):
+        """Create-or-get the child for one label set.
+
+        Label names must match the declared schema exactly; values are
+        coerced to ``str``.  Over-budget label sets return the shared
+        no-op instrument with rejection accounting.
+        """
+        if len(labels) != len(self.labelnames):
+            raise ValueError(
+                f"family {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        try:
+            key = tuple(str(labels[ln]) for ln in self.labelnames)
+        except KeyError as exc:
+            raise ValueError(
+                f"family {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            ) from exc
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_children:
+                self.rejected += 1
+                self._rejected_counter.inc()
+                return NOOP_INSTRUMENT
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """``(label_values, child)`` pairs sorted by label values."""
+        return [(k, self._children[k]) for k in sorted(self._children)]
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+
+class CounterFamily(MetricFamily):
+    kind = "counter"
+    __slots__ = ()
+
+    def _make_child(self) -> Counter:
+        return Counter(self.name, self.help)
+
+    @property
+    def value(self) -> float:
+        """Sum over children — the family total a flat reader expects."""
+        return sum(c.value for _, c in self.children())
+
+
+class GaugeFamily(MetricFamily):
+    kind = "gauge"
+    __slots__ = ()
+
+    def _make_child(self) -> Gauge:
+        return Gauge(self.name, self.help)
+
+    @property
+    def value(self) -> float:
+        return sum(c.value for _, c in self.children())
+
+
+class HistogramFamily(MetricFamily):
+    kind = "histogram"
+    __slots__ = ("buckets",)
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        max_children: int,
+        rejected_counter: "Counter",
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames, max_children,
+                         rejected_counter)
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.name, self.help, self.buckets)
+
+
+class _NoopFamily:
+    """Family impersonator for the disabled path: labels() → no-op."""
+
+    kind = "noop"
+    name = "noop"
+    help = ""
+    labelnames: Tuple[str, ...] = ()
+    max_children = 0
+    rejected = 0
+    value = 0.0
+    __slots__ = ()
+
+    def labels(self, **labels: object):
+        return NOOP_INSTRUMENT
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NOOP_FAMILY = _NoopFamily()
+
+
 class MetricsRegistry:
     """Create-or-get factory and collection point for instruments."""
 
@@ -198,11 +393,20 @@ class MetricsRegistry:
         self._metrics[name] = metric
         return metric
 
+    def _get_flat(self, name: str, kind: str, factory):
+        metric = self._get(name, kind, factory)
+        if isinstance(metric, MetricFamily):
+            raise ValueError(
+                f"metric {name!r} already registered as a labeled family "
+                f"with schema {metric.labelnames}"
+            )
+        return metric
+
     def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, "counter", lambda: Counter(name, help))
+        return self._get_flat(name, "counter", lambda: Counter(name, help))
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, "gauge", lambda: Gauge(name, help))
+        return self._get_flat(name, "gauge", lambda: Gauge(name, help))
 
     def histogram(
         self,
@@ -210,7 +414,73 @@ class MetricsRegistry:
         help: str = "",
         buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
     ) -> Histogram:
-        return self._get(name, "histogram", lambda: Histogram(name, help, buckets))
+        return self._get_flat(
+            name, "histogram", lambda: Histogram(name, help, buckets)
+        )
+
+    # -- labeled families ----------------------------------------------------
+
+    def _rejected_counter(self) -> Counter:
+        """The shared budget-rejection counter, created on first use."""
+        return self.counter(
+            CARDINALITY_REJECTED_NAME, _CARDINALITY_REJECTED_HELP
+        )
+
+    def _get_family(self, name: str, kind: str, labelnames, factory):
+        family = self._get(name, kind, factory)
+        if not isinstance(family, MetricFamily):
+            raise ValueError(
+                f"metric {name!r} already registered without labels"
+            )
+        if family.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"family {name!r} already registered with label schema "
+                f"{family.labelnames}, requested {tuple(labelnames)}"
+            )
+        return family
+
+    def counter_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> CounterFamily:
+        rejected = self._rejected_counter()
+        return self._get_family(
+            name, "counter", labelnames,
+            lambda: CounterFamily(name, help, labelnames, max_children,
+                                  rejected),
+        )
+
+    def gauge_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> GaugeFamily:
+        rejected = self._rejected_counter()
+        return self._get_family(
+            name, "gauge", labelnames,
+            lambda: GaugeFamily(name, help, labelnames, max_children,
+                                rejected),
+        )
+
+    def histogram_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> HistogramFamily:
+        rejected = self._rejected_counter()
+        return self._get_family(
+            name, "histogram", labelnames,
+            lambda: HistogramFamily(name, help, labelnames, max_children,
+                                    rejected, buckets),
+        )
 
     def get(self, name: str) -> Optional[object]:
         return self._metrics.get(name)
@@ -244,6 +514,34 @@ class _NoopRegistry(MetricsRegistry):
         buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
     ) -> Histogram:
         return NOOP_INSTRUMENT  # type: ignore[return-value]
+
+    def counter_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> CounterFamily:
+        return NOOP_FAMILY  # type: ignore[return-value]
+
+    def gauge_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+    ) -> GaugeFamily:
+        return NOOP_FAMILY  # type: ignore[return-value]
+
+    def histogram_family(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_children: int = DEFAULT_MAX_CHILDREN,
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> HistogramFamily:
+        return NOOP_FAMILY  # type: ignore[return-value]
 
     def collect(self) -> Iterable[object]:
         return []

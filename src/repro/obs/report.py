@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from . import catalog
 from .alerts import Alert, BurnRateAlerter, BurnRatePolicy
 from .audit import RuleFiring
 from .detect import (
@@ -655,21 +656,14 @@ def build_run_report(
     )
 
     # Sweep-runner/supervisor resource accounting: whatever of the
-    # runner-side counters this run's registry saw.  A judged chaos run
-    # with no sweep activity reports an empty section, deterministically.
+    # runner-side counters this run's registry saw.  The name list is
+    # enumerated from the catalog (not a hand-maintained tuple), so a
+    # newly cataloged runner counter shows up here automatically.  A
+    # judged chaos run with no sweep activity reports an empty section,
+    # deterministically.
     resources: Dict[str, float] = {}
-    for metric_name in (
-        "repro_runner_cells_total",
-        "repro_runner_cache_hits_total",
-        "repro_runner_cache_misses_total",
-        "repro_runner_cells_executed_total",
-        "repro_runner_cache_self_heal_total",
-        "repro_runner_journal_corrupt_total",
-        "repro_supervisor_retries_total",
-        "repro_supervisor_timeouts_total",
-        "repro_supervisor_pool_rebuilds_total",
-        "repro_supervisor_cell_failures_total",
-        "repro_supervisor_journal_replays_total",
+    for metric_name in catalog.names(
+        subsystem=("runner", "supervisor"), kind="counter"
     ):
         metric = telemetry.metrics.get(metric_name)
         if metric is not None:

@@ -160,6 +160,23 @@ class Telemetry:
             MetricsRegistry() if enabled else NOOP_REGISTRY
         )
         self.audit = AuditTrail(enabled=enabled)
+        #: Optional :class:`~repro.obs.emit.EmissionBatcher`.  ``None``
+        #: by default: the hot-path cost of no emitter is one attribute
+        #: check at the few sites that produce emission events.
+        self.emitter = None
+
+    def attach_emitter(self, batcher) -> None:
+        """Attach a batched emission pipeline (no-op hub refuses it)."""
+        if not self.enabled:
+            raise ValueError(
+                "cannot attach an emitter to disabled telemetry"
+            )
+        self.emitter = batcher
+
+    def close_emitter(self) -> None:
+        """Flush-on-close the attached emitter, if any.  Idempotent."""
+        if self.emitter is not None:
+            self.emitter.close()
 
 
 #: Shared disabled hub: the default for every instrumented component.

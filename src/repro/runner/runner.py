@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs import catalog
 from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
 from repro.obs.tracer import Telemetry
 
@@ -145,32 +146,29 @@ class SweepRunner:
         registry: MetricsRegistry = (
             telemetry.metrics if telemetry is not None else NOOP_REGISTRY
         )
-        self._m_cells = registry.counter(
-            "repro_runner_cells_total", "Sweep cells processed"
+        self._m_cells = catalog.instrument(
+            registry, "repro_runner_cells_total"
         )
-        self._m_hits = registry.counter(
-            "repro_runner_cache_hits_total", "Sweep cells served from cache"
+        self._m_hits = catalog.instrument(
+            registry, "repro_runner_cache_hits_total"
         )
-        self._m_misses = registry.counter(
-            "repro_runner_cache_misses_total", "Sweep cells not in cache"
+        self._m_misses = catalog.instrument(
+            registry, "repro_runner_cache_misses_total"
         )
-        self._m_executed = registry.counter(
-            "repro_runner_cells_executed_total", "Sweep cells simulated"
+        self._m_executed = catalog.instrument(
+            registry, "repro_runner_cells_executed_total"
         )
-        self._m_seconds = registry.histogram(
-            "repro_runner_sweep_seconds", "Wall-clock per sweep run"
+        self._m_seconds = catalog.instrument(
+            registry, "repro_runner_sweep_seconds"
         )
-        self._m_self_heal = registry.counter(
-            "repro_runner_cache_self_heal_total",
-            "Corrupt cache entries dropped and treated as misses",
+        self._m_self_heal = catalog.instrument(
+            registry, "repro_runner_cache_self_heal_total"
         )
-        self._m_replays = registry.counter(
-            "repro_supervisor_journal_replays_total",
-            "Sweep cells resumed from a write-ahead journal",
+        self._m_replays = catalog.instrument(
+            registry, "repro_supervisor_journal_replays_total"
         )
-        self._m_journal_corrupt = registry.counter(
-            "repro_runner_journal_corrupt_total",
-            "Corrupt journal lines skipped during replay",
+        self._m_journal_corrupt = catalog.instrument(
+            registry, "repro_runner_journal_corrupt_total"
         )
         #: Accumulated accounting across every ``run()`` on this runner
         #: (multi-stage drivers like Fig. 7 call it several times).

@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import catalog
 from repro.obs.registry import MetricsRegistry, NOOP_REGISTRY
 from repro.obs.tracer import Telemetry
 
@@ -269,19 +270,17 @@ class CellSupervisor:
         registry: MetricsRegistry = (
             telemetry.metrics if telemetry is not None else NOOP_REGISTRY
         )
-        self._m_retries = registry.counter(
-            "repro_supervisor_retries_total", "Cell attempts retried"
+        self._m_retries = catalog.instrument(
+            registry, "repro_supervisor_retries_total"
         )
-        self._m_timeouts = registry.counter(
-            "repro_supervisor_timeouts_total", "Cell attempts timed out"
+        self._m_timeouts = catalog.instrument(
+            registry, "repro_supervisor_timeouts_total"
         )
-        self._m_rebuilds = registry.counter(
-            "repro_supervisor_pool_rebuilds_total",
-            "Worker processes respawned after a death or timeout kill",
+        self._m_rebuilds = catalog.instrument(
+            registry, "repro_supervisor_pool_rebuilds_total"
         )
-        self._m_failures = registry.counter(
-            "repro_supervisor_cell_failures_total",
-            "Cells abandoned as CellFailure after exhausting retries",
+        self._m_failures = catalog.instrument(
+            registry, "repro_supervisor_cell_failures_total"
         )
         #: Accounting for the most recent :meth:`run_cells` call.
         self.retries = 0

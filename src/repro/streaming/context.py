@@ -30,6 +30,7 @@ from repro.datagen.generator import DataGenerator
 from repro.engine.faults import NO_FAULTS, FaultModel
 from repro.engine.overhead import DEFAULT_OVERHEAD, OverheadModel
 from repro.engine.task_scheduler import NoiseModel, TaskScheduler
+from repro.obs import catalog
 from repro.obs.span import NOOP_SPAN, Span
 from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 from repro.workloads.base import Workload
@@ -110,23 +111,20 @@ class StreamingContext:
         #: boundary hooks attach fault span events here.
         self.current_batch_span: Span = NOOP_SPAN
         registry = self.telemetry.metrics
-        self._m_reconfigs = registry.counter(
-            "repro_streaming_reconfigurations_total",
-            "Runtime configuration changes applied",
+        self._m_reconfigs = catalog.instrument(
+            registry, "repro_streaming_reconfigurations_total"
         )
-        self._m_queue_len = registry.gauge(
-            "repro_streaming_queue_length", "Batches formed but not yet started"
+        self._m_queue_len = catalog.instrument(
+            registry, "repro_streaming_queue_length"
         )
-        self._m_dropped = registry.counter(
-            "repro_streaming_batches_dropped_total",
-            "Batches evicted from the bounded queue (data loss)",
+        self._m_dropped = catalog.instrument(
+            registry, "repro_streaming_batches_dropped_total"
         )
-        self._m_interval = registry.gauge(
-            "repro_streaming_batch_interval_seconds",
-            "Batch interval currently in force",
+        self._m_interval = catalog.instrument(
+            registry, "repro_streaming_batch_interval_seconds"
         )
-        self._m_executors = registry.gauge(
-            "repro_streaming_executors", "Executors currently allocated"
+        self._m_executors = catalog.instrument(
+            registry, "repro_streaming_executors"
         )
         self._m_interval.set(self._interval)
         self._m_executors.set(self.num_executors)

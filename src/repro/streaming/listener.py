@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from typing import Callable, List, Optional
 
-from repro.obs.registry import DEFAULT_COUNT_BUCKETS
+from repro.obs import catalog
 from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
 from .metrics import BatchInfo, StreamingMetrics
@@ -39,30 +39,26 @@ class StreamingListener:
         self._fanout: tuple = ()
         self.telemetry = telemetry or NOOP_TELEMETRY
         registry = self.telemetry.metrics
-        self._m_batches = registry.counter(
-            "repro_streaming_batches_total", "Completed micro-batches"
+        self._m_batches = catalog.instrument(
+            registry, "repro_streaming_batches_total"
         )
-        self._m_records = registry.counter(
-            "repro_streaming_records_total", "Records across completed batches"
+        self._m_records = catalog.instrument(
+            registry, "repro_streaming_records_total"
         )
-        self._m_unstable = registry.counter(
-            "repro_streaming_unstable_batches_total",
-            "Batches whose processing time exceeded their interval",
+        self._m_unstable = catalog.instrument(
+            registry, "repro_streaming_unstable_batches_total"
         )
-        self._m_proc = registry.histogram(
-            "repro_streaming_processing_seconds", "Batch processing time"
+        self._m_proc = catalog.instrument(
+            registry, "repro_streaming_processing_seconds"
         )
-        self._m_sched = registry.histogram(
-            "repro_streaming_scheduling_delay_seconds", "Batch schedule delay"
+        self._m_sched = catalog.instrument(
+            registry, "repro_streaming_scheduling_delay_seconds"
         )
-        self._m_e2e = registry.histogram(
-            "repro_streaming_end_to_end_delay_seconds",
-            "Mean record end-to-end delay per batch",
+        self._m_e2e = catalog.instrument(
+            registry, "repro_streaming_end_to_end_delay_seconds"
         )
-        self._m_batch_records = registry.histogram(
-            "repro_streaming_batch_records_count",
-            "Records per batch",
-            buckets=DEFAULT_COUNT_BUCKETS,
+        self._m_batch_records = catalog.instrument(
+            registry, "repro_streaming_batch_records_count"
         )
 
     def subscribe(self, callback: BatchCallback) -> None:
@@ -115,6 +111,19 @@ class StreamingListener:
             self._m_sched.observe(info.scheduling_delay)
             self._m_e2e.observe(info.end_to_end_delay)
             self._m_batch_records.observe(info.records)
+            emitter = self.telemetry.emitter
+            if emitter is not None:
+                emitter.emit(
+                    {
+                        "event": "batch_completed",
+                        "time": info.batch_time,
+                        "records": info.records,
+                        "processingSeconds": info.processing_time,
+                        "schedulingDelaySeconds": info.scheduling_delay,
+                        "stable": info.stable,
+                    },
+                    now=info.batch_time,
+                )
         for cb in self._fanout:
             cb(info)
 

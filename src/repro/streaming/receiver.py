@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.datagen.generator import DataGenerator
 from repro.kafka.consumer import DirectStreamConsumer
+from repro.obs import catalog
 from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
 
@@ -43,9 +44,8 @@ class Receiver:
         registry = self.telemetry.metrics
         self.consumer.instrument(registry)
         self.generator.producer.instrument(registry)
-        self._m_stalls = registry.counter(
-            "repro_streaming_receiver_stall_windows_total",
-            "Batch windows during which the receiver could not fetch",
+        self._m_stalls = catalog.instrument(
+            registry, "repro_streaming_receiver_stall_windows_total"
         )
 
     # -- fault injection (broker outage / receiver stall) -------------------

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.cluster.resource_manager import ResourceManager
 from repro.engine.task_scheduler import JobRun, TaskScheduler
+from repro.obs import catalog
 from repro.obs.tracer import NOOP_TELEMETRY, Telemetry
 
 from .batch_queue import BatchQueue, QueuedBatch
@@ -59,16 +60,12 @@ class MicroBatchEngine:
         self.last_runs: List[JobRun] = []
         self.keep_runs = False
         metrics = self.telemetry.metrics
-        self._m_jobs = metrics.counter(
-            "repro_engine_jobs_total", "Batch jobs executed by the engine"
+        self._m_jobs = catalog.instrument(metrics, "repro_engine_jobs_total")
+        self._m_task_failures = catalog.instrument(
+            metrics, "repro_engine_task_failures_total"
         )
-        self._m_task_failures = metrics.counter(
-            "repro_engine_task_failures_total",
-            "Transient task failures (retried attempts)",
-        )
-        self._m_stage_seconds = metrics.histogram(
-            "repro_engine_stage_seconds",
-            "Per-stage wall time (all iterations of one stage)",
+        self._m_stage_seconds = catalog.instrument(
+            metrics, "repro_engine_stage_seconds"
         )
 
     def note_reconfiguration(self, now: float, pause: float) -> None:

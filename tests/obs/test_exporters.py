@@ -170,3 +170,84 @@ class TestEmptyRegistry:
 
     def test_empty_snapshot_is_valid(self):
         assert validate_prometheus_text("") == []
+
+
+class TestLabeledFamilyExport:
+    def test_label_values_with_specials_escape_and_validate(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_kafka_records_consumed_total", "Consumed", ("topic",)
+        )
+        fam.labels(topic='we"ird\\topic\nname').inc()
+        text = prometheus_text(reg)
+        assert 'topic="we\\"ird\\\\topic\\nname"' in text
+        assert validate_prometheus_text(text) == []
+
+    def test_histogram_family_inf_bucket_per_child(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram_family(
+            "repro_engine_stage_seconds", "Stage", ("stage",),
+            buckets=(1.0, 5.0),
+        )
+        fam.labels(stage="map").observe(0.5)
+        fam.labels(stage="reduce").observe(9.0)
+        text = prometheus_text(reg)
+        inf_lines = [
+            line for line in text.splitlines() if 'le="+Inf"' in line
+        ]
+        assert len(inf_lines) == 2
+        assert any('stage="map"' in line for line in inf_lines)
+        assert any('stage="reduce"' in line for line in inf_lines)
+        assert validate_prometheus_text(text) == []
+
+    def test_histogram_family_child_missing_inf_is_flagged(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram_family(
+            "repro_engine_stage_seconds", "Stage", ("stage",),
+            buckets=(1.0,),
+        )
+        fam.labels(stage="map").observe(0.5)
+        fam.labels(stage="reduce").observe(0.5)
+        text = prometheus_text(reg)
+        stripped = "\n".join(
+            line for line in text.splitlines()
+            if not ('le="+Inf"' in line and 'stage="map"' in line)
+        )
+        problems = validate_prometheus_text(stripped)
+        assert any('stage="map"' in p for p in problems)
+
+    def test_empty_family_renders_metadata_only_and_validates(self):
+        reg = MetricsRegistry()
+        reg.counter_family(
+            "repro_chaos_injections_total", "Faults", ("kind",)
+        )
+        text = prometheus_text(reg)
+        assert "# TYPE repro_chaos_injections_total counter" in text
+        assert "repro_chaos_injections_total{" not in text
+        assert validate_prometheus_text(text) == []
+
+    def test_family_children_render_sorted_by_label_values(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_chaos_injections_total", "Faults", ("kind",)
+        )
+        for kind in ("zeta", "alpha", "mid"):
+            fam.labels(kind=kind).inc()
+        text = prometheus_text(reg)
+        samples = [
+            line for line in text.splitlines()
+            if line.startswith("repro_chaos_injections_total{")
+        ]
+        assert samples == sorted(samples)
+
+    def test_summary_renders_children_and_rejections(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_chaos_injections_total", "Faults", ("kind",),
+            max_children=1,
+        )
+        fam.labels(kind="crash").inc(2)
+        fam.labels(kind="over").inc()  # rejected
+        summary = render_metrics_summary(reg)
+        assert 'repro_chaos_injections_total{kind="crash"}: 2' in summary
+        assert "rejected" in summary

@@ -1,0 +1,190 @@
+"""Labeled metric families: schema, interning, cardinality budgets."""
+
+import pytest
+
+from repro.obs import (
+    CARDINALITY_REJECTED_NAME,
+    NOOP_INSTRUMENT,
+    NOOP_REGISTRY,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+
+
+class TestFamilyBasics:
+    def test_counter_family_children_accumulate_independently(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_chaos_injections_total", "Faults", ("kind",)
+        )
+        fam.labels(kind="crash").inc()
+        fam.labels(kind="crash").inc(2)
+        fam.labels(kind="skew").inc()
+        assert fam.labels(kind="crash").value == 3.0
+        assert fam.labels(kind="skew").value == 1.0
+
+    def test_family_value_sums_children(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_chaos_injections_total", "Faults", ("kind",)
+        )
+        fam.labels(kind="crash").inc(2)
+        fam.labels(kind="skew").inc(3)
+        assert fam.value == 5.0
+
+    def test_children_interned_by_label_values(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge_family(
+            "repro_kafka_consumer_lag_records", "Lag", ("topic",)
+        )
+        a = fam.labels(topic="events")
+        b = fam.labels(topic="events")
+        assert a is b
+
+    def test_children_sorted_deterministically(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_chaos_injections_total", "Faults", ("kind",)
+        )
+        for kind in ("zeta", "alpha", "mid"):
+            fam.labels(kind=kind).inc()
+        assert [v for v, _ in fam.children()] == [
+            ("alpha",), ("mid",), ("zeta",)
+        ]
+
+    def test_histogram_family_child_observes(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram_family(
+            "repro_engine_stage_seconds", "Stage", ("stage",),
+            buckets=(1.0, 5.0),
+        )
+        fam.labels(stage="map").observe(0.5)
+        fam.labels(stage="map").observe(2.0)
+        child = fam.labels(stage="map")
+        assert child.count == 2
+        assert child.sum == 2.5
+
+    def test_same_name_same_schema_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter_family("repro_x_y_total", "h", ("k",))
+        b = reg.counter_family("repro_x_y_total", "h", ("k",))
+        assert a is b
+
+
+class TestSchemaEnforcement:
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family("repro_x_y_total", "h", ("kind",))
+        with pytest.raises(ValueError, match="label"):
+            fam.labels(flavor="crash")
+
+    def test_missing_label_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family("repro_x_y_total", "h", ("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels(a="1")
+
+    def test_invalid_label_name_at_declaration(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter_family("repro_x_y_total", "h", ("Bad-Name",))
+
+    def test_reserved_label_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="reserved"):
+            reg.histogram_family("repro_x_y_seconds", "h", ("le",))
+
+    def test_schema_drift_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter_family("repro_x_y_total", "h", ("kind",))
+        with pytest.raises(ValueError, match="schema"):
+            reg.counter_family("repro_x_y_total", "h", ("other",))
+
+    def test_kind_drift_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter_family("repro_x_y_total", "h", ("kind",))
+        with pytest.raises(ValueError):
+            reg.gauge_family("repro_x_y_total", "h", ("kind",))
+
+    def test_flat_name_cannot_shadow_family(self):
+        reg = MetricsRegistry()
+        reg.counter_family("repro_x_y_total", "h", ("kind",))
+        with pytest.raises(ValueError, match="family"):
+            reg.counter("repro_x_y_total", "h")
+
+    def test_family_cannot_shadow_flat(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_y_total", "h")
+        with pytest.raises(ValueError):
+            reg.counter_family("repro_x_y_total", "h", ("kind",))
+
+
+class TestCardinalityBudget:
+    def test_over_budget_rejected_with_accounting(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_x_y_total", "h", ("k",), max_children=2
+        )
+        fam.labels(k="a").inc()
+        fam.labels(k="b").inc()
+        over = fam.labels(k="c")
+        assert over is NOOP_INSTRUMENT
+        assert fam.rejected == 1
+        rejected = reg.get(CARDINALITY_REJECTED_NAME)
+        assert rejected is not None and rejected.value == 1.0
+
+    def test_existing_children_unaffected_by_rejections(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_x_y_total", "h", ("k",), max_children=1
+        )
+        fam.labels(k="a").inc(5)
+        fam.labels(k="b").inc(100)  # rejected: goes to the noop
+        assert fam.labels(k="a").value == 5.0
+        assert len(fam) == 1
+
+    def test_rejection_never_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge_family(
+            "repro_x_y", "h", ("k",), max_children=1
+        )
+        fam.labels(k="a").set(1)
+        for i in range(10):
+            fam.labels(k=f"overflow{i}").set(i)
+        assert fam.rejected == 10
+
+    def test_interned_child_does_not_consume_budget(self):
+        reg = MetricsRegistry()
+        fam = reg.counter_family(
+            "repro_x_y_total", "h", ("k",), max_children=2
+        )
+        for _ in range(5):
+            fam.labels(k="a").inc()
+        assert fam.rejected == 0
+        assert fam.labels(k="a").value == 5.0
+
+
+class TestNoopFamilies:
+    def test_noop_registry_family_factories(self):
+        for fam in (
+            NOOP_REGISTRY.counter_family("x", "h", ("k",)),
+            NOOP_REGISTRY.gauge_family("x", "h", ("k",)),
+            NOOP_REGISTRY.histogram_family("x", "h", ("k",)),
+        ):
+            child = fam.labels(k="anything")
+            assert child is NOOP_INSTRUMENT
+            child.inc()
+            child.set(3)
+            child.observe(1.0)
+
+    def test_family_classes_report_kind(self):
+        reg = MetricsRegistry()
+        c = reg.counter_family("repro_a_c_total", "h", ("k",))
+        g = reg.gauge_family("repro_a_d", "h", ("k",))
+        h = reg.histogram_family("repro_a_e_seconds", "h", ("k",))
+        assert (c.kind, g.kind, h.kind) == ("counter", "gauge", "histogram")
+        assert isinstance(c, CounterFamily)
+        assert isinstance(g, GaugeFamily)
+        assert isinstance(h, HistogramFamily)
