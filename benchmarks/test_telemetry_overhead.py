@@ -146,3 +146,59 @@ def test_labeled_family_hot_paths(benchmark):
         f"{result['noop_family_labels_inc_ns']:.0f}ns vs flat "
         f"{result['flat_inc_ns']:.0f}ns"
     )
+
+
+TRACE_ITERS = 20_000
+
+
+def run_sampled_tracer_hot_path():
+    """Per-trace cost of the flight recorder at realistic settings.
+
+    One iteration is a whole batch-shaped trace: root + two children,
+    finishes, then the finalization that decides sampling/retention.
+    The interesting comparison is keep-everything vs 1/16 head sampling
+    (a sampled-out trace still pays span construction, then is discarded
+    wholesale at finalization) vs the disabled tracer floor.
+    """
+    from repro.obs import Tracer
+
+    def trace_once(tracer, i):
+        root = tracer.start_trace("batch", trace_id=f"b-{i:06d}", start=float(i))
+        sched = tracer.start_span("schedule", root, start=float(i))
+        sched.finish(i + 0.1)
+        ex = tracer.start_span("execute", root, start=i + 0.1)
+        ex.finish(i + 0.9)
+        root.finish(i + 1.0)
+
+    def timed(tracer):
+        counter = iter(range(10 * TRACE_ITERS))
+        t0 = time.perf_counter()
+        for _ in range(TRACE_ITERS):
+            trace_once(tracer, next(counter))
+        tracer.finalize_all()
+        return (time.perf_counter() - t0) / TRACE_ITERS * 1e9  # ns/trace
+
+    return {
+        "keep_all_ns": timed(Tracer(max_spans=16_384)),
+        "sampled_16_ns": timed(
+            Tracer(max_spans=16_384, sample_rate=16)
+        ),
+        "disabled_ns": timed(Tracer(enabled=False)),
+    }
+
+
+def test_sampled_tracer_hot_path(benchmark):
+    result = run_once(benchmark, run_sampled_tracer_hot_path)
+    emit(
+        f"Flight-recorder per-trace cost (ns over {TRACE_ITERS:,} traces; "
+        "root + 2 children + finalize):\n"
+        f"  keep everything:       {result['keep_all_ns']:10.1f}\n"
+        f"  1/16 head sampling:    {result['sampled_16_ns']:10.1f}\n"
+        f"  disabled tracer:       {result['disabled_ns']:10.1f}"
+    )
+    # Sampling adds one SHA-256 per trace but discards 15/16 of the
+    # archive bookkeeping; it must stay in the same ballpark as
+    # keep-everything rather than regress to something superlinear.
+    assert result["sampled_16_ns"] < 5 * result["keep_all_ns"] + 10_000.0
+    # And the disabled tracer stays no-op cheap per whole trace.
+    assert result["disabled_ns"] < max(result["keep_all_ns"] / 2, 2000.0)

@@ -18,11 +18,12 @@ from .convergence import (
 )
 from .stats import Summary, bootstrap_ci, improvement_factor, rolling_mean, summarize
 from .tables import format_series, format_table
-from .traces import ExperimentTrace
+from .traces import ExperimentTrace, load_span_jsonl
 
 __all__ = [
     "DecayFit",
     "ExperimentTrace",
+    "load_span_jsonl",
     "baseline_delay",
     "delay_overshoot",
     "poisoned_step_fraction",

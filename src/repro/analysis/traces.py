@@ -72,3 +72,18 @@ class ExperimentTrace:
             metadata=payload.get("metadata", {}),
             series={k: list(v) for k, v in payload["series"].items()},
         )
+
+
+def load_span_jsonl(path: Union[str, Path]) -> List:
+    """Reload ``repro trace --out`` span JSONL for offline analysis.
+
+    Returns the spans in file order (the tracer's store order), ready
+    for :func:`repro.obs.analyze_spans`,
+    :func:`repro.obs.chrome_trace_json`, or
+    :func:`repro.obs.folded_stacks` — the analytics are pure over span
+    values, so a reloaded archive decomposes and exports byte-identically
+    to the live run that wrote it.
+    """
+    from repro.obs import parse_jsonl_spans
+
+    return parse_jsonl_spans(Path(path).read_text())

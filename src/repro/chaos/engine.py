@@ -200,6 +200,14 @@ class ChaosEngine:
             event_id=record.event_id, fault=record.name,
             kind=record.kind, detail=record.detail,
         )
+        # The whole outage window is interesting, not just the batch that
+        # carries the chaos.inject event: tail retention keeps every
+        # trace overlapping [fire, recovery] even under head sampling.
+        self.telemetry.tracer.note_interest(
+            fire_time,
+            record.recover_due if record.recover_due is not None else fire_time,
+            "chaos",
+        )
 
     def _recover_due(self, boundary: float) -> None:
         still: List[_ActiveFault] = []

@@ -100,7 +100,12 @@ def _run_with_telemetry(args, task_detail: bool = False,
     from repro.experiments.common import build_experiment, make_controller
     from repro.obs import Telemetry
 
-    telemetry = Telemetry(enabled=True, task_detail=task_detail)
+    telemetry = Telemetry(
+        enabled=True,
+        task_detail=task_detail,
+        sample_rate=getattr(args, "sample", 1),
+        retain_interesting=not getattr(args, "no_retain", False),
+    )
     if emitter_factory is not None:
         telemetry.attach_emitter(emitter_factory(telemetry.metrics))
     setup = build_experiment(args.workload, seed=args.seed,
@@ -111,20 +116,60 @@ def _run_with_telemetry(args, task_detail: bool = False,
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs import render_timeline, save_spans
+    from repro.obs import (
+        analyze_spans,
+        decompose_spans,
+        render_breakdown,
+        render_timeline,
+        save_chrome_trace,
+        save_folded,
+        save_spans,
+        steady_state_agreement,
+    )
 
     telemetry, setup, controller = _run_with_telemetry(
         args, task_detail=args.tasks
     )
-    spans = telemetry.tracer.spans
+    tracer = telemetry.tracer
+    tracer.finalize_all()
+    spans = tracer.spans
     print(render_timeline(spans, last_n_traces=args.last))
-    n_traces = len(telemetry.tracer.trace_ids())
+    n_traces = len(tracer.trace_ids())
     print(f"\n{len(spans)} spans across {n_traces} batch traces "
-          f"({telemetry.tracer.dropped_spans} dropped); "
+          f"({tracer.dropped_spans} dropped); "
           f"audit: {len(telemetry.audit)} decisions, "
           f"{len(telemetry.audit.firings)} rule firings")
+    if args.sample > 1 or tracer.evicted_traces:
+        retained = " ".join(
+            f"{reason}={n}"
+            for reason, n in sorted(tracer.retained_by_reason.items())
+        )
+        print(f"flight recorder: 1/{args.sample} sampling, "
+              f"{tracer.retained_traces} retained"
+              + (f" ({retained})" if retained else "")
+              + f", {tracer.evicted_traces} evicted")
+    if args.critical:
+        breakdown = analyze_spans(spans)
+        print("\n-- where the delay went (critical path) --")
+        print(render_breakdown(breakdown))
+        batches = setup.context.listener.metrics.batches
+        agreement = steady_state_agreement(decompose_spans(spans), batches)
+        if agreement.samples:
+            mark = "AGREE" if agreement.ok else "DISAGREE"
+            print(f"steady-state oracle cross-check: trace-side "
+                  f"{agreement.expected:.3f}s vs batch-side "
+                  f"{agreement.actual:.3f}s over {agreement.samples} "
+                  f"batches (tol {agreement.tolerance:.3f}s) -> {mark}")
+            if not agreement.ok:
+                return 1
+        else:
+            print("steady-state oracle cross-check: no matchable batches")
     if args.out:
         print(f"spans written to {save_spans(spans, args.out)}")
+    if args.chrome:
+        print(f"Chrome trace written to {save_chrome_trace(spans, args.chrome)}")
+    if args.folded:
+        print(f"folded stacks written to {save_folded(spans, args.folded)}")
     if args.audit_out:
         print(f"audit trail written to {telemetry.audit.save(args.audit_out)}")
     mismatches = telemetry.audit.replay(box=setup.scaler.scaled)
@@ -641,6 +686,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write all spans as JSONL")
     p.add_argument("--audit-out", default=None,
                    help="write the SPSA audit trail as JSONL")
+    p.add_argument("--chrome", default=None,
+                   help="write a Chrome Trace Event JSON file "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--folded", default=None,
+                   help="write folded stacks for flamegraph.pl / speedscope")
+    p.add_argument("--critical", action="store_true",
+                   help="print the critical-path delay decomposition and "
+                        "cross-check it against the steady-state oracle")
+    p.add_argument("--sample", type=int, default=1,
+                   help="head-sample 1/N of batch traces (deterministic; "
+                        "tail retention still keeps interesting traces)")
+    p.add_argument("--no-retain", action="store_true",
+                   help="disable tail-based retention of interesting traces")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(

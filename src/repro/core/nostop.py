@@ -196,6 +196,18 @@ class NoStopController:
 
         return theta_to_configuration(self.spsa.theta, self.scaler)[:2]
 
+    def _note_trace_interest(self, kind: str) -> None:
+        """Mark the batches around an audit-rule firing interesting.
+
+        The flight recorder's tail retention keeps every trace that
+        overlaps the window, so the batches that triggered — and the
+        batches that absorbed — a reset/pause/resume decision are always
+        available for critical-path analysis, regardless of sampling.
+        """
+        interval, _ = self._current_configuration()
+        t = self.system.time
+        self.telemetry.tracer.note_interest(t - interval, t + interval, kind)
+
     def _observe_rate(self) -> None:
         self.rate_monitor.observe(self.system.observed_input_rate())
 
@@ -279,6 +291,7 @@ class NoStopController:
         self.paused = False
         self.report.resets += 1
         self._m_resets.inc()
+        self._note_trace_interest("reset")
         self.audit.record_firing(
             "reset", self._rounds_run, self.system.time,
             detail=(
@@ -420,6 +433,7 @@ class NoStopController:
             config[0], config[1],
             partitions=config[2] if len(config) > 2 else None,
         )
+        self._note_trace_interest("pause")
         self.audit.record_firing(
             "pause", self._rounds_run, self.system.time,
             detail=(
@@ -487,6 +501,7 @@ class NoStopController:
         if measurement.mean_processing_time > interval * self.stability_slack:
             self.paused = False
             self.collector.reset_window()
+            self._note_trace_interest("resume")
             self.audit.record_firing(
                 "resume", self._rounds_run, self.system.time,
                 detail=(

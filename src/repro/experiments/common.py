@@ -248,6 +248,7 @@ def judged_chaos_run(
     judge = RunJudge(
         slos=slos, policies=policies, rate_detector=rate_detector
     )
+    judge.attach_tracer(telemetry.tracer)
     setup.context.listener.watch(judge)
 
     from repro.chaos.runner import run_chaos_scenario, standard_chaos_schedule

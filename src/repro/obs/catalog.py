@@ -179,6 +179,20 @@ CATALOG: Tuple[MetricSpec, ...] = (
           "Emission batcher flushes (interval, capacity, or close)"),
     _spec("repro_obs_emit_queue_length", "gauge",
           "Events pending in the emission batcher queue"),
+    _spec("repro_obs_trace_evicted_total", "counter",
+          "Traces discarded at finalization by the flight recorder "
+          "(head-sampled out and not interesting, or ring-consumed)",
+          labels=("reason",), max_children=8),
+    _spec("repro_obs_trace_retained_total", "counter",
+          "Traces kept at finalization by the flight recorder, by "
+          "retention reason (sampled, chaos, slo, anomaly, reconfig, ...)",
+          labels=("reason",), max_children=16),
+    _spec("repro_obs_trace_sampled_total", "counter",
+          "Traces pre-selected by deterministic SHA-256 head sampling"),
+    _spec("repro_obs_trace_spans_dropped_total", "counter",
+          "Spans consumed by the span ring (finished or unfinished) or "
+          "finished after eviction (late_finish)",
+          labels=("reason",), max_children=4),
     # -- runner --------------------------------------------------------------
     _spec("repro_runner_cache_hits_total", "counter",
           "Sweep cells served from cache"),

@@ -28,12 +28,14 @@ import json
 from typing import Callable, Dict, List, Optional, TextIO, Union
 
 from . import catalog
+from .critical import decompose
 from .registry import (
     NOOP_REGISTRY,
     Histogram,
     MetricFamily,
     MetricsRegistry,
 )
+from .span import Span
 
 #: An emission event is a flat JSON-serialisable dict.
 Event = Dict[str, object]
@@ -248,3 +250,45 @@ def metric_events(registry: MetricsRegistry, time: float = 0.0) -> List[Event]:
         else:
             events.append(_sample(name, kind, metric, time))
     return events
+
+
+# -- retained-trace summaries -------------------------------------------------
+
+
+def trace_summary_event(
+    trace_id: str, spans: "List[Span]", reason: str
+) -> Event:
+    """One emission event summarizing a trace the flight recorder kept.
+
+    The Telemetry hub wires this through ``Tracer.on_retained``, so every
+    retained trace ships a one-line summary (retention reason, span
+    count, and — when the trace decomposes — the §5 delay-model
+    segments) through the batched emission pipeline alongside metric
+    snapshots.
+    """
+    root = next((s for s in spans if s.parent_id is None), None)
+    if root is not None and root.end is not None:
+        time = root.end
+    elif spans:
+        last = spans[-1]
+        time = last.end if last.end is not None else last.start
+    else:
+        time = 0.0
+    event: Event = {
+        "event": "trace_retained",
+        "traceId": trace_id,
+        "reason": reason,
+        "spans": len(spans),
+        "time": time,
+    }
+    d = decompose(spans)
+    if d is not None:
+        event["ingest"] = d.ingest
+        event["queue"] = d.queue
+        event["schedule"] = d.schedule
+        event["execute"] = d.execute
+        event["complete"] = d.complete
+        event["criticalPath"] = ";".join(
+            step.name for step in d.critical_path
+        )
+    return event

@@ -57,6 +57,120 @@ def save_spans(spans: Iterable[Span], path: str) -> str:
     return path
 
 
+# -- Chrome Trace Event JSON (Perfetto / chrome://tracing) -------------------
+
+
+def chrome_trace_json(spans: Sequence[Span]) -> str:
+    """Chrome Trace Event JSON — load in Perfetto or chrome://tracing.
+
+    One virtual thread per trace (so each batch renders as its own
+    lane), named via ``thread_name`` metadata events.  Finished spans
+    become complete (``X``) events with microsecond timestamps, spans
+    still open at export time become unpaired begin (``B``) events, and
+    span events (chaos injections, queue drops) become thread-scoped
+    instant (``i``) events.  Output is byte-deterministic for a given
+    span sequence: insertion-ordered events, sorted keys, compact
+    separators.
+    """
+    tids: Dict[str, int] = {}
+    for s in spans:
+        if s.trace_id not in tids:
+            tids[s.trace_id] = len(tids)
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": trace_id},
+        }
+        for trace_id, tid in tids.items()
+    ]
+    for s in spans:
+        tid = tids[s.trace_id]
+        args: Dict[str, object] = dict(s.attributes)
+        args["spanId"] = s.span_id
+        if s.parent_id is not None:
+            args["parentId"] = s.parent_id
+        event: Dict[str, object] = {
+            "ph": "X" if s.finished else "B",
+            "pid": 0,
+            "tid": tid,
+            "name": s.name,
+            "cat": "batch",
+            "ts": s.start * 1e6,
+            "args": args,
+        }
+        if s.finished:
+            event["dur"] = s.duration * 1e6
+        events.append(event)
+        for ev in s.events:
+            events.append({
+                "ph": "i",
+                "pid": 0,
+                "tid": tid,
+                "name": ev.name,
+                "cat": "event",
+                "s": "t",
+                "ts": ev.time * 1e6,
+                "args": dict(ev.attributes),
+            })
+    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def save_chrome_trace(spans: Sequence[Span], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(chrome_trace_json(spans) + "\n")
+    return path
+
+
+# -- folded stacks (flamegraph text) -----------------------------------------
+
+
+def folded_stacks(spans: Sequence[Span]) -> str:
+    """Folded-stack flamegraph text: ``root;child;leaf <self-µs>``.
+
+    Each finished span contributes its *self* time (duration minus its
+    finished children) in integer microseconds to the stack of names
+    from its trace root down; identical stacks aggregate across traces.
+    Lines are sorted lexicographically, so output is byte-deterministic.
+    Unfinished spans carry no duration and are skipped.  Feed the result
+    to any flamegraph renderer (e.g. ``flamegraph.pl`` or speedscope).
+    """
+    by_id = {s.span_id: s for s in spans}
+    child_sum: Dict[int, float] = {}
+    for s in spans:
+        if s.parent_id is not None and s.finished:
+            child_sum[s.parent_id] = (
+                child_sum.get(s.parent_id, 0.0) + s.duration
+            )
+    agg: Dict[str, int] = {}
+    for s in spans:
+        if not s.finished:
+            continue
+        names = [s.name]
+        parent_id = s.parent_id
+        while parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                break
+            names.append(parent.name)
+            parent_id = parent.parent_id
+        stack = ";".join(reversed(names))
+        self_time = max(0.0, s.duration - child_sum.get(s.span_id, 0.0))
+        agg[stack] = agg.get(stack, 0) + int(round(self_time * 1e6))
+    return "\n".join(
+        f"{stack} {value}" for stack, value in sorted(agg.items())
+    )
+
+
+def save_folded(spans: Sequence[Span], path: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(folded_stacks(spans) + "\n")
+    return path
+
+
 # -- Prometheus text exposition ----------------------------------------------
 
 

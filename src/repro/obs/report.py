@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence
 from . import catalog
 from .alerts import Alert, BurnRateAlerter, BurnRatePolicy
 from .audit import RuleFiring
+from .critical import DelayBreakdown, analyze_spans, render_breakdown
 from .detect import (
     AnomalyEvent,
     CusumDetector,
@@ -77,10 +78,27 @@ class RunJudge:
         self.rate_detector = rate_detector or CusumDetector(h=8.0)
         self.batches = 0
         self.last_time = 0.0
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Let the judge drive the flight recorder's tail retention.
+
+        Once attached, every batch that fires a burn-rate alert or trips
+        a detector marks its own time window interesting, so the tracer
+        keeps that batch's trace even when head sampling would have
+        discarded it.
+        """
+        self._tracer = tracer
 
     def observe_batch(self, info) -> None:
         self.batches += 1
         self.last_time = max(self.last_time, info.processing_end)
+        watch = self._tracer is not None and self._tracer.enabled
+        if watch:
+            alerts_before = len(self.alerter.log)
+            events_before = len(self.delay_detector.events) + len(
+                self.rate_detector.events
+            )
         self.evaluator.observe_batch(info)
         self.alerter.observe_batch(info)
         self.delay_detector.observe(info.processing_end, info.end_to_end_delay)
@@ -88,6 +106,17 @@ class RunJudge:
         self.rate_detector.observe(
             info.processing_end, info.records / info.interval
         )
+        if watch:
+            # The batch's root span covers [form start, job finish].
+            lo = info.batch_time - info.interval
+            hi = info.processing_end
+            if len(self.alerter.log) > alerts_before:
+                self._tracer.note_interest(lo, hi, "slo")
+            events_after = len(self.delay_detector.events) + len(
+                self.rate_detector.events
+            )
+            if events_after > events_before:
+                self._tracer.note_interest(lo, hi, "anomaly")
 
     def anomalies(self) -> List[AnomalyEvent]:
         """Detector firings in time order (stable for equal times)."""
@@ -156,6 +185,11 @@ class RunReport:
     """Sweep-runner/supervisor resource counters captured from the
     metrics registry (cache hits, retries, journal replays, ...) —
     empty when the run did no sweep work."""
+    breakdown: Optional[DelayBreakdown] = None
+    """Critical-path delay decomposition over the retained traces —
+    where the end-to-end delay went (ingest / queue / schedule /
+    execute), split per configuration epoch.  None when the flight
+    recorder kept no decomposable traces."""
 
     @property
     def critical_breach(self) -> bool:
@@ -223,6 +257,9 @@ class RunReport:
             "guardedDecisions": self.guarded_decisions,
             "rateShiftAgreement": self.rate_shift_agreement,
             "resources": dict(sorted(self.resources.items())),
+            "breakdown": (
+                self.breakdown.to_dict() if self.breakdown else None
+            ),
         }
 
     def to_json(self) -> str:
@@ -308,6 +345,16 @@ class RunReport:
                 "  " + line
                 for line in render_hotspots(self.profile).splitlines()
             )
+
+        out.append("")
+        out.append("-- where the delay went (critical path) --")
+        if self.breakdown is not None and self.breakdown.traces:
+            out.extend(
+                "  " + line
+                for line in render_breakdown(self.breakdown).splitlines()
+            )
+        else:
+            out.append("  (no batch traces retained)")
 
         out.append("")
         out.append(f"-- chaos faults ({len(self.faults)}) --")
@@ -449,6 +496,24 @@ class RunReport:
                     f"{c.share:.1%}",
                 ])
 
+        epoch_rows = []
+        if self.breakdown is not None:
+            for ep in self.breakdown.epochs:
+                config = (
+                    f"{ep.interval:.2f} s &times; {ep.executors}"
+                    if ep.interval is not None and ep.executors is not None
+                    else "—"
+                )
+                top = ", ".join(
+                    f"{s.name} {s.share:.0%}" for s in ep.critical[:3]
+                )
+                row = [str(ep.index), config, str(ep.traces)]
+                row.extend(
+                    f"{s.total:.3f} ({s.share:.0%})" for s in ep.segments
+                )
+                row.append(e(top) if top else "—")
+                epoch_rows.append(row)
+
         fault_rows = []
         for f in self.faults:
             mttr = f"{f.mttr:.1f}" if math.isfinite(f.mttr) else "never"
@@ -546,6 +611,21 @@ class RunReport:
             ) if hotspot_rows else "<p>(no spans profiled)</p>",
             f'<p class="meta">schedule + execute = {proc} s '
             "(total batch processing time)</p>",
+            "<h2>Where the delay went (critical path)</h2>",
+            table(
+                ["epoch", "config", "traces", "ingest", "queue",
+                 "schedule", "execute", "critical-path time"],
+                epoch_rows,
+            ) if epoch_rows else "<p>(no batch traces retained)</p>",
+            (
+                f'<p class="meta">{self.breakdown.traces} traces '
+                f"({self.breakdown.complete} complete, "
+                f"{self.breakdown.dropped} dropped, "
+                f"{self.breakdown.partial} partial); max tiling residual "
+                f"{self.breakdown.max_tiling_residual:.2e} s</p>"
+                if self.breakdown is not None and self.breakdown.traces
+                else ""
+            ),
             f"<h2>Chaos faults ({len(self.faults)})</h2>",
             table(
                 ["#", "fault", "kind", "fired (s)", "MTTR (s)",
@@ -612,6 +692,13 @@ def build_run_report(
 
     judge.alerter.finish(judge.last_time)
 
+    # Settle the flight recorder's tail retention before reading spans:
+    # the fault join and the critical-path decomposition should both see
+    # the final retained set.  ``finalize_all`` is idempotent, so callers
+    # that already finalized (or run with tracing disabled) are
+    # unaffected.
+    telemetry.tracer.finalize_all()
+
     # Per-fault recovery metrics + trace join.
     faults: List[FaultOutcome] = []
     orphans = 0
@@ -669,7 +756,10 @@ def build_run_report(
         if metric is not None:
             resources[metric_name] = float(metric.value)
 
-    profile = profile_spans(telemetry.tracer.spans)
+    spans = telemetry.tracer.spans
+    breakdown = analyze_spans(spans) if spans else None
+
+    profile = profile_spans(spans)
     wd_report = (watchdog or SpsaWatchdog()).scan(telemetry.audit)
 
     resets = sum(1 for f in telemetry.audit.firings if f.kind == "reset")
@@ -714,4 +804,5 @@ def build_run_report(
         ),
         rate_shift_agreement=agreement,
         resources=resources,
+        breakdown=breakdown,
     )

@@ -185,6 +185,12 @@ class StreamingContext:
             self._m_interval.set(self._interval)
             self._m_executors.set(self.num_executors)
             self.engine.note_reconfiguration(self.time, self.overhead.reconfig_pause)
+            # Keep the traces around a configuration change: the batch
+            # absorbing the pause plus the first batches under the new
+            # config are exactly what before/after delay comparisons need.
+            self.telemetry.tracer.note_interest(
+                self.time, self.time + 2 * self._interval, "reconfig"
+            )
 
     # -- simulation ---------------------------------------------------------
 

@@ -139,6 +139,8 @@ class MicroBatchEngine:
             root.set_attribute("scheduling_delay", info.scheduling_delay)
             root.set_attribute("executors", len(executors))
             root.set_attribute("task_failures", run.task_failures)
+            if info.first_after_reconfig:
+                root.set_attribute("first_after_reconfig", True)
             root.finish(run.finish)
         self.listener.on_batch_completed(info)
         return info
