@@ -103,10 +103,18 @@ class TestSweepRunner:
         )
         # The >= 3x contract.  Warm cache must deliver it on any machine;
         # the cold parallel run must also clear it when the hardware can
-        # physically parallelize the fan-out.
+        # physically parallelize the fan-out.  On boxes with fewer cores
+        # than workers the parallel gate is informational only — the
+        # numbers above are still recorded so the softening is visible.
         assert cached_speedup >= 3.0
-        if not SMOKE and (os.cpu_count() or 1) >= SWEEP_WORKERS:
+        parallel_gate = not SMOKE and (os.cpu_count() or 1) >= SWEEP_WORKERS
+        if parallel_gate:
             assert parallel_speedup >= 3.0
+        elif (os.cpu_count() or 1) < SWEEP_WORKERS:
+            emit(
+                f"parallel gate softened: {os.cpu_count() or 1} cpus < "
+                f"{SWEEP_WORKERS} workers (recorded, not asserted)"
+            )
 
 
 class TestHotPaths:
@@ -229,6 +237,91 @@ class TestHotPaths:
             f"({slow_appends} appends) vs count-only {t_fast:.3f}s "
             f"({fast_appends} appends), {speedup:.1f}x"
         )
+
+    def test_fast_tier_speedup(self, bench_record):
+        """The vectorized tier's >= 50x contract against the exact DES.
+
+        Both tiers run the same fig7-style fixed configuration (LR at
+        its paper rate band, 10 s x 10 executors) over the same number
+        of batches.  The shared rate-trace segment memo is warmed by a
+        throwaway fluid pass first so neither timed run pays the
+        one-time trace materialization.
+        """
+        from repro.experiments.common import build_experiment
+
+        batches = 600
+
+        warm = build_experiment(WORKLOAD, seed=101, fidelity="fluid")
+        warm.context.advance_batches(batches)
+
+        exact = build_experiment(WORKLOAD, seed=101, fidelity="exact")
+        _, t_exact = _timed(lambda: exact.context.advance_batches(batches))
+
+        fast = build_experiment(WORKLOAD, seed=101, fidelity="vectorized")
+        _, t_fast = _timed(lambda: fast.context.advance_batches(batches))
+
+        # Near ρ=1 a handful of batches can still be queued when the
+        # clock stops; both tiers must have completed nearly all.
+        assert len(exact.context.listener.metrics) >= batches - 10
+        assert len(fast.context.listener.metrics) >= batches - 10
+        # The tiers must agree on the physics, not just the speed.
+        pe = exact.context.listener.metrics.mean_processing_time()
+        pf = fast.context.listener.metrics.mean_processing_time()
+        assert abs(pe - pf) / pe < 0.10
+
+        speedup = t_exact / t_fast if t_fast > 0 else float("inf")
+        bench_record(
+            batches=batches,
+            exactSeconds=round(t_exact, 4),
+            vectorizedSeconds=round(t_fast, 4),
+            speedup=round(speedup, 1),
+            exactMeanProc=round(pe, 3),
+            vectorizedMeanProc=round(pf, 3),
+        )
+        emit(
+            f"fast tier ({batches} batches): exact {t_exact:.3f}s vs "
+            f"vectorized {t_fast:.4f}s ({speedup:.0f}x), mean proc "
+            f"{pe:.2f}s vs {pf:.2f}s"
+        )
+        assert speedup >= 50.0
+
+    def test_fast_tier_scale_smoke(self, bench_record):
+        """10k executors x 1000 partitions x 4 sim-hours in < 10 s wall."""
+        from repro.cluster.cluster import homogeneous_cluster
+        from repro.datagen.generator import DataGenerator
+        from repro.fast import FastStreamingContext
+        from repro.kafka.cluster import paper_kafka_cluster
+        from repro.streaming.context import StreamingConfig
+        from repro.workloads.wordcount import WordCount
+
+        horizon = 4 * 3600.0
+        cl = homogeneous_cluster(workers=640, cores_per_node=16)
+        wl = WordCount()
+        wl.partitions = 1000
+        gen = DataGenerator(
+            paper_kafka_cluster(64).topic("events"),
+            ConstantRate(150_000.0),
+            payload_kind=wl.payload_kind,
+            seed=0,
+        )
+        ctx = FastStreamingContext(
+            cl, wl, gen, StreamingConfig(10.0, 10_000), seed=0,
+        )
+        _, wall = _timed(lambda: ctx.advance_until(horizon))
+        n = len(ctx.listener.metrics)
+        bench_record(
+            executors=10_000,
+            partitions=1000,
+            simHours=round(horizon / 3600.0, 1),
+            batches=n,
+            wallSeconds=round(wall, 3),
+        )
+        emit(
+            f"scale smoke: 10k executors x 1000 partitions, "
+            f"{horizon / 3600.0:.0f}h sim ({n} batches) in {wall:.2f}s wall"
+        )
+        assert n == int(horizon / 10.0)
+        assert wall < 10.0
 
     def test_scheduler_task_throughput(self, bench_record):
         """Tracking number for the LPT-hoist + inlined-duration loop."""

@@ -8,8 +8,11 @@ classes silently break that, and this linter flags all of them:
 * **DET001 — unseeded randomness.**  Module-level ``random.*`` calls and
   the legacy ``numpy.random.*`` global functions draw from ambient
   process state; ``default_rng()`` / ``RandomState()`` / ``Random()``
-  without a seed argument are seeded from the OS.  Explicitly seeded
-  constructions (``default_rng(seed)``) are fine.
+  and the numpy bit-generator constructors (``PCG64()``, ``MT19937()``,
+  ``Philox()``, …) without a seed argument are seeded from the OS, as
+  are the explicitly unseeded spellings ``default_rng(None)`` and
+  ``default_rng(seed=None)``.  Explicitly seeded constructions
+  (``default_rng(seed)``) are fine.
 * **DET002 — wall-clock reads.**  ``time.time`` / ``perf_counter`` /
   ``monotonic`` / ``datetime.now`` and friends leak host timing into
   results.  Both calls and bare references (e.g. used as a default
@@ -60,11 +63,20 @@ WALL_CLOCK = {
 }
 
 #: RNG constructors that are deterministic *only when given a seed*.
+#: Includes every numpy bit-generator class: ``Generator(PCG64())``
+#: hides an OS-entropy seed inside the nested constructor, and the
+#: visitor walks nested calls, so the inner ``PCG64()`` is what gets
+#: flagged.
 SEEDABLE_FACTORIES = {
     "numpy.random.default_rng",
     "numpy.random.RandomState",
     "numpy.random.SeedSequence",
     "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
     "random.Random",
 }
 
@@ -237,7 +249,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
             self._flag("DET001", node, f"nondeterministic source {name}()")
             return
         if name in SEEDABLE_FACTORIES:
-            if not node.args and not node.keywords:
+            if self._seed_missing(node):
                 self._flag(
                     "DET001",
                     node,
@@ -264,6 +276,28 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 f"legacy global {name}() uses ambient numpy RNG state — "
                 "use a seeded Generator",
             )
+
+    @staticmethod
+    def _seed_missing(node: ast.Call) -> bool:
+        """Whether a seedable-factory call is (statically) unseeded.
+
+        Unseeded means: no arguments at all, a literal ``None`` first
+        positional, or an explicit ``seed=None`` keyword — all three
+        fall back to OS entropy at runtime.  Any other argument is
+        assumed to be a real seed.
+        """
+        if not node.args and not node.keywords:
+            return True
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for kw in node.keywords:
+            if kw.arg == "seed":
+                return (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is None
+                )
+        return False
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
         # Bare references to wall-clock callables (default arguments,

@@ -51,8 +51,19 @@ def run_check(
     rounds: int = 40,
     warmup: int = 5,
     metamorphic: bool = False,
+    fidelity: str = "exact",
 ) -> CheckReport:
-    """Run one check target end to end and return its report."""
+    """Run one check target end to end and return its report.
+
+    ``fidelity`` selects the simulation tier the target runs on.  The
+    exact tier attaches the per-batch :class:`InvariantEngine`; the fast
+    tiers (``vectorized``/``fluid``) have no listener-hook surface for
+    it, so :func:`~repro.fast.invariants.check_fast_run` evaluates the
+    fast-tier invariant set post-hoc instead.  The analytic oracles are
+    tier-independent and run either way — they are exactly the cross-tier
+    equivalence contract.  Chaos fault models hook the exact engine's
+    internals and therefore require ``fidelity="exact"``.
+    """
     from repro.experiments.common import build_experiment, make_controller
     from repro.obs import Telemetry, governance_report
 
@@ -60,14 +71,21 @@ def run_check(
         raise ValueError(
             f"unknown check target {target!r}; expected one of {CHECK_TARGETS}"
         )
+    if target == "chaos" and fidelity != "exact":
+        raise ValueError(
+            "the chaos target requires the exact tier "
+            f"(got fidelity={fidelity!r})"
+        )
     workload = workload or _DEFAULT_WORKLOADS[target]
     seed = _DEFAULT_SEEDS[target] if seed is None else seed
 
     # Telemetry is live so governance can diff the run's actual series
     # against the catalog (tracing-parity CI guarantees telemetry is
     # pure observation — it changes no simulated result).
-    setup = build_experiment(workload, seed=seed, telemetry=Telemetry())
-    engine = InvariantEngine(setup.context)
+    setup = build_experiment(
+        workload, seed=seed, telemetry=Telemetry(), fidelity=fidelity
+    )
+    engine = InvariantEngine(setup.context) if fidelity == "exact" else None
     gate_oracles = True
 
     if target == "quickstart":
@@ -85,13 +103,23 @@ def run_check(
         )
         gate_oracles = False
 
+    if engine is not None:
+        checks_run = engine.checks_run
+        batches_checked = engine.batches_checked
+        violations = list(engine.violations)
+    else:
+        from repro.fast import check_fast_run
+
+        checks_run, violations = check_fast_run(setup.context)
+        batches_checked = len(setup.context.listener.metrics)
+
     report = CheckReport(
         target=target,
         workload=workload,
         seed=seed,
-        checks_run=engine.checks_run,
-        batches_checked=engine.batches_checked,
-        violations=list(engine.violations),
+        checks_run=checks_run,
+        batches_checked=batches_checked,
+        violations=violations,
         oracles=run_oracles(setup, warmup=warmup),
         gate_oracles=gate_oracles,
         governance=governance_report(setup.context.telemetry.metrics),

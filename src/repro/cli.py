@@ -456,8 +456,11 @@ def _cmd_sweep(args) -> int:
     retry = RetryPolicy(
         max_retries=args.retries, timeout_seconds=args.timeout
     )
+    import os as _os
+
+    workers = args.workers if args.workers else (_os.cpu_count() or 1)
     runner = SweepRunner(
-        workers=args.workers, cache=cache, use_cache=not args.no_cache,
+        workers=workers, cache=cache, use_cache=not args.no_cache,
         journal=journal, retry=retry,
     )
     name = args.name.lower()
@@ -472,13 +475,15 @@ def _cmd_sweep(args) -> int:
 
             kwargs = {"workload": args.workload} if args.workload else {}
             print(run_fig2(seed=args.seed, runner=runner,
-                           count_only=args.count_only, **kwargs).to_table())
+                           count_only=args.count_only,
+                           fidelity=args.fidelity, **kwargs).to_table())
         elif name == "fig3":
             from repro.experiments.fig3_executors import run_fig3
 
             kwargs = {"workload": args.workload} if args.workload else {}
             print(run_fig3(seed=args.seed, runner=runner,
-                           count_only=args.count_only, **kwargs).to_table())
+                           count_only=args.count_only,
+                           fidelity=args.fidelity, **kwargs).to_table())
         elif name == "fig5":
             from repro.experiments.fig5_rates import run_fig5
 
@@ -490,8 +495,8 @@ def _cmd_sweep(args) -> int:
             workloads = [args.workload] if args.workload else PAPER_WORKLOADS
             print(run_fig7(repeats=args.repeats, rounds=args.rounds,
                            base_seed=args.seed, workloads=workloads,
-                           runner=runner,
-                           count_only=args.count_only).to_table())
+                           runner=runner, count_only=args.count_only,
+                           fidelity=args.fidelity).to_table())
         elif name == "fig8":
             from repro.experiments.fig6_evolution import PAPER_WORKLOADS
             from repro.experiments.fig8_spsa_vs_bo import run_fig8
@@ -499,8 +504,8 @@ def _cmd_sweep(args) -> int:
             workloads = [args.workload] if args.workload else PAPER_WORKLOADS
             print(run_fig8(repeats=args.repeats, rounds=args.rounds,
                            base_seed=args.seed, workloads=workloads,
-                           runner=runner,
-                           count_only=args.count_only).to_table())
+                           runner=runner, count_only=args.count_only,
+                           fidelity=args.fidelity).to_table())
         else:
             print(
                 f"unknown sweep {args.name!r}; "
@@ -618,6 +623,7 @@ def _cmd_check(args) -> int:
         rounds=args.rounds,
         warmup=args.warmup,
         metamorphic=args.metamorphic,
+        fidelity=args.fidelity,
     )
     print(report.render_text())
     if args.json:
@@ -769,8 +775,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="repeats for fig7/fig8 (paper uses 5)")
     p.add_argument("--rounds", type=int, default=40,
                    help="NoStop rounds for fig7/fig8")
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes (results identical at any count)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: all CPU cores; "
+                        "results identical at any count)")
+    p.add_argument("--fidelity", default="exact",
+                   choices=["exact", "vectorized", "fluid"],
+                   help="simulation tier: exact per-task DES (default), "
+                        "the numpy-vectorized batch engine, or the "
+                        "analytic fluid model (fig5 is rate-only and "
+                        "tier-independent)")
     p.add_argument("--no-cache", action="store_true",
                    help="ignore cached results (fresh results still stored)")
     p.add_argument("--clear-cache", action="store_true",
@@ -829,6 +842,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metamorphic", action="store_true",
                    help="also run the time-dilation twin and the "
                         "executor-homogeneity identity")
+    p.add_argument("--fidelity", default="exact",
+                   choices=["exact", "vectorized", "fluid"],
+                   help="simulation tier to check (chaos requires exact)")
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero on any violation or oracle failure")
     p.add_argument("--json", default=None,

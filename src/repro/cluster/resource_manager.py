@@ -168,6 +168,59 @@ class ResourceManager:
         self._executors[executor.executor_id] = executor
         return executor
 
+    def _launch_many(self, count: int, now: float) -> None:
+        """Launch ``count`` executors with bit-identical placement to
+        ``count`` sequential :meth:`launch_executor` calls.
+
+        The sequential path rescans every worker per launch —
+        O(count x nodes), which dominates context construction on
+        thousand-node clusters.  A lazy heap keyed
+        ``(used_cores, -speed_factor, worker_index)`` reproduces the
+        same pick sequence (``min`` over the worker list breaks ties by
+        list position, exactly the index tie-break) in
+        O((count + nodes) log nodes).
+        """
+        import heapq
+
+        cores = self.executor_cores
+        mem = self.executor_memory_gb
+        heap = [
+            (n.used_cores, -n.speed_factor, idx, n)
+            for idx, n in enumerate(self.cluster.workers)
+            if n.can_host(cores, mem)
+        ]
+        heapq.heapify(heap)
+        launched = 0
+        while launched < count:
+            if not heap:
+                raise InsufficientResourcesError(
+                    f"cluster {self.cluster.name!r} cannot host another "
+                    f"{cores}-core/{mem}GB executor "
+                    f"({self.executor_count} running, "
+                    f"max {self.max_executors})"
+                )
+            used, neg_speed, idx, node = heapq.heappop(heap)
+            if used != node.used_cores:
+                # Stale entry: re-key and retry.
+                if node.can_host(cores, mem):
+                    heapq.heappush(
+                        heap, (node.used_cores, neg_speed, idx, node)
+                    )
+                continue
+            node.allocate(cores, mem)
+            executor = Executor(
+                executor_id=self._next_id,
+                node=node,
+                cores=cores,
+                memory_gb=mem,
+                launched_at=now,
+            )
+            self._next_id += 1
+            self._executors[executor.executor_id] = executor
+            launched += 1
+            if node.can_host(cores, mem):
+                heapq.heappush(heap, (node.used_cores, neg_speed, idx, node))
+
     def remove_executor(self, executor_id: int) -> None:
         """Decommission one executor and release its node resources."""
         executor = self._executors.pop(executor_id, None)
@@ -220,8 +273,7 @@ class ResourceManager:
                     f"{self.available_capacity} more executors, "
                     f"need {delta} to reach target {target}"
                 )
-            for _ in range(delta):
-                self.launch_executor(now=now)
+            self._launch_many(delta, now)
         elif delta < 0:
             victims = sorted(
                 self._executors.values(),

@@ -86,6 +86,16 @@ class ConstantRate(RateTrace):
         return math.inf
 
 
+#: Process-wide memo of segment draws, keyed (seed, idx, lo, hi).  The
+#: draw is a pure function of the key, so sharing across trace instances
+#: is sound — and matters: a sweep builds the same band trace for the
+#: optimize cell and every measurement cell of a repeat, and an
+#: exact-vs-fast comparison builds it twice; each ``default_rng((seed,
+#: idx))`` construction costs ~25µs, which dominates fast-tier runs.
+_SEGMENT_MEMO: dict = {}
+_SEGMENT_MEMO_MAX = 1 << 20
+
+
 class UniformRandomRate(RateTrace):
     """Piecewise-constant rate resampled uniformly in ``[lo, hi]``.
 
@@ -103,17 +113,16 @@ class UniformRandomRate(RateTrace):
         self.hi = float(hi)
         self.hold = float(hold)
         self.seed = int(seed)
-        # Per-segment draws are pure functions of (seed, idx); memoizing
-        # them removes a Generator construction per rate() call — one of
-        # the hottest allocations in long simulation runs.
-        self._segment_cache: dict = {}
 
     def _segment_rate(self, idx: int) -> float:
-        cached = self._segment_cache.get(idx)
+        key = (self.seed, idx, self.lo, self.hi)
+        cached = _SEGMENT_MEMO.get(key)
         if cached is None:
+            if len(_SEGMENT_MEMO) >= _SEGMENT_MEMO_MAX:
+                _SEGMENT_MEMO.clear()
             rng = np.random.default_rng((self.seed, idx))
             cached = float(rng.uniform(self.lo, self.hi))
-            self._segment_cache[idx] = cached
+            _SEGMENT_MEMO[key] = cached
         return cached
 
     def rate(self, t: float) -> float:

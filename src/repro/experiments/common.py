@@ -65,6 +65,7 @@ def build_experiment(
     cluster: Optional[Cluster] = None,
     telemetry: Optional[Telemetry] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> ExperimentSetup:
     """Assemble the paper's deployment for one workload.
 
@@ -87,7 +88,21 @@ def build_experiment(
     ``REPRO_FORCE_TRACE``) is set in the environment, an enabled bundle
     is created automatically — the CI hook for running the full test
     suite with tracing on.
+
+    ``fidelity`` selects the simulation tier: ``"exact"`` (the default)
+    is the per-record/per-task DES; ``"vectorized"`` and ``"fluid"``
+    swap in :class:`~repro.fast.context.FastStreamingContext`, the
+    numpy batch-level engine or the analytic closed forms (see
+    :mod:`repro.fast`).  The fast tiers expose the same control and
+    listener surface, so every consumer of the returned setup works
+    unchanged; chaos fault models require the exact tier.
     """
+    from repro.fast import FIDELITIES
+
+    if fidelity not in FIDELITIES:
+        raise ValueError(
+            f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+        )
     if telemetry is None and (
         os.environ.get("REPRO_TRACE") or os.environ.get("REPRO_FORCE_TRACE")
     ):
@@ -105,17 +120,33 @@ def build_experiment(
         seed=seed,
         count_only=count_only,
     )
-    context = StreamingContext(
-        cluster,
-        workload,
-        generator,
-        StreamingConfig(batch_interval, num_executors),
-        seed=seed,
-        overhead=overhead,
-        noise=NoiseModel(sigma=noise_sigma),
-        queue_max_length=queue_max_length,
-        telemetry=telemetry,
-    )
+    if fidelity == "exact":
+        context = StreamingContext(
+            cluster,
+            workload,
+            generator,
+            StreamingConfig(batch_interval, num_executors),
+            seed=seed,
+            overhead=overhead,
+            noise=NoiseModel(sigma=noise_sigma),
+            queue_max_length=queue_max_length,
+            telemetry=telemetry,
+        )
+    else:
+        from repro.fast import FastStreamingContext
+
+        context = FastStreamingContext(
+            cluster,
+            workload,
+            generator,
+            StreamingConfig(batch_interval, num_executors),
+            seed=seed,
+            overhead=overhead,
+            noise_sigma=noise_sigma,
+            queue_max_length=queue_max_length,
+            telemetry=telemetry,
+            mode=fidelity,
+        )
     system = SimulatedSparkSystem(context)
     scaler = paper_configuration_space(
         max_executors=max_executors, max_interval=max_interval

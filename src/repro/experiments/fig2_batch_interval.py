@@ -75,19 +75,24 @@ def fig2_spec(
     batches: int = 25,
     seed: int = 1,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """Declarative form of the Fig. 2 sweep (one cell per interval)."""
+    base = {
+        "workload": workload,
+        "num_executors": num_executors,
+        "batches": batches,
+        "warmup": 4,
+        "seed": seed,
+        "count_only": count_only,
+    }
+    if fidelity != "exact":
+        # Non-default tiers only, so exact-tier cell digests are stable.
+        base["fidelity"] = fidelity
     return SweepSpec(
         name=f"fig2-{workload}",
         kind="fixed_config",
-        base={
-            "workload": workload,
-            "num_executors": num_executors,
-            "batches": batches,
-            "warmup": 4,
-            "seed": seed,
-            "count_only": count_only,
-        },
+        base=base,
         grid={"batch_interval": [float(i) for i in intervals]},
     )
 
@@ -100,6 +105,7 @@ def run_fig2(
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> Fig2Result:
     """Run the Fig. 2 sweep; each point is a fresh deployment.
 
@@ -117,6 +123,7 @@ def run_fig2(
             batches=batches,
             seed=seed,
             count_only=count_only,
+            fidelity=fidelity,
         )
     )
     result = Fig2Result(workload=workload, num_executors=num_executors)

@@ -82,19 +82,25 @@ def fig3_spec(
     batches: int = 25,
     seed: int = 1,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """Declarative form of the Fig. 3 sweep (one cell per count)."""
+    base = {
+        "workload": workload,
+        "batch_interval": float(interval),
+        "batches": batches,
+        "warmup": 4,
+        "seed": seed,
+        "count_only": count_only,
+    }
+    if fidelity != "exact":
+        # Only non-default tiers enter the cell params, so exact-tier
+        # cell digests (cache keys, journal identities) are unchanged.
+        base["fidelity"] = fidelity
     return SweepSpec(
         name=f"fig3-{workload}",
         kind="fixed_config",
-        base={
-            "workload": workload,
-            "batch_interval": float(interval),
-            "batches": batches,
-            "warmup": 4,
-            "seed": seed,
-            "count_only": count_only,
-        },
+        base=base,
         cases=[
             {"num_executors": int(n), "max_executors": max(24, int(n))}
             for n in executor_counts
@@ -110,6 +116,7 @@ def run_fig3(
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> Fig3Result:
     """Run the Fig. 3 sweep; each point is a fresh deployment.
 
@@ -125,6 +132,7 @@ def run_fig3(
             batches=batches,
             seed=seed,
             count_only=count_only,
+            fidelity=fidelity,
         )
     )
     result = Fig3Result(workload=workload, interval=interval)

@@ -78,8 +78,15 @@ def run_fig5(
     dt: float = 5.0,
     seed: int = 1,
     runner: Optional[SweepRunner] = None,
+    fidelity: str = "exact",
 ) -> Fig5Result:
-    """Sample every workload's paper rate trace over ``duration`` seconds."""
+    """Sample every workload's paper rate trace over ``duration`` seconds.
+
+    ``fidelity`` is accepted for driver-signature uniformity but ignored:
+    Fig. 5 samples the input-rate traces directly, which are identical
+    across all simulation tiers (every tier reads the same
+    :class:`~repro.datagen.rates.RateTrace` objects).
+    """
     if duration <= 0 or dt <= 0:
         raise ValueError("duration and dt must be positive")
     runner = runner or SweepRunner()

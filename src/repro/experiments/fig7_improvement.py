@@ -79,18 +79,19 @@ def measure_configuration(
     num_executors: int,
     seed: int,
     batches: int = 40,
+    fidelity: str = "exact",
 ) -> float:
     """Steady-state end-to-end delay of a fixed configuration."""
-    result = execute_cell(
-        "fixed_config",
-        {
-            "workload": workload,
-            "batch_interval": batch_interval,
-            "num_executors": num_executors,
-            "seed": seed,
-            "batches": batches,
-        },
-    )
+    params = {
+        "workload": workload,
+        "batch_interval": batch_interval,
+        "num_executors": num_executors,
+        "seed": seed,
+        "batches": batches,
+    }
+    if fidelity != "exact":
+        params["fidelity"] = fidelity
+    result = execute_cell("fixed_config", params)
     return result["meanEndToEndDelay"]
 
 
@@ -100,14 +101,20 @@ def fig7_optimize_spec(
     rounds: int = 40,
     base_seed: int = 1,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """Stage 1: the per-repeat NoStop optimization runs."""
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    base = {"workload": workload, "rounds": rounds, "count_only": count_only}
+    if fidelity != "exact":
+        # Only non-default tiers enter the cell params, so exact-tier
+        # cell digests (cache keys, journal identities) are unchanged.
+        base["fidelity"] = fidelity
     return SweepSpec(
         name=f"fig7-{workload}-optimize",
         kind="nostop",
-        base={"workload": workload, "rounds": rounds, "count_only": count_only},
+        base=base,
         cases=[{"seed": s} for s in paper_repeat_seeds(base_seed, repeats)],
     )
 
@@ -117,6 +124,7 @@ def fig7_measure_spec(
     reports: Sequence[dict],
     base_seed: int = 1,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """Stage 2: steady-state measurement of the stage-1 outcomes.
 
@@ -146,15 +154,18 @@ def fig7_measure_spec(
                 "seed": seed,
             }
         )
+    base = {
+        "workload": workload,
+        "batches": 40,
+        "warmup": 5,
+        "count_only": count_only,
+    }
+    if fidelity != "exact":
+        base["fidelity"] = fidelity
     return SweepSpec(
         name=f"fig7-{workload}-measure",
         kind="fixed_config",
-        base={
-            "workload": workload,
-            "batches": 40,
-            "warmup": 5,
-            "count_only": count_only,
-        },
+        base=base,
         cases=cases,
     )
 
@@ -166,6 +177,7 @@ def run_fig7_one(
     base_seed: int = 1,
     runner: Optional[SweepRunner] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> WorkloadImprovement:
     """Fig. 7 measurement for one workload.
 
@@ -180,6 +192,7 @@ def run_fig7_one(
             rounds=rounds,
             base_seed=base_seed,
             count_only=count_only,
+            fidelity=fidelity,
         )
     )
     measure = runner.run(
@@ -188,6 +201,7 @@ def run_fig7_one(
             optimize.results,
             base_seed=base_seed,
             count_only=count_only,
+            fidelity=fidelity,
         )
     )
     result = WorkloadImprovement(workload=workload)
@@ -215,6 +229,7 @@ def run_fig7(
     workloads=PAPER_WORKLOADS,
     runner: Optional[SweepRunner] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> Fig7Result:
     """Full Fig. 7 over the four paper workloads."""
     runner = runner or SweepRunner()
@@ -227,6 +242,7 @@ def run_fig7(
             base_seed=base_seed,
             runner=runner,
             count_only=count_only,
+            fidelity=fidelity,
         )
     return result
 

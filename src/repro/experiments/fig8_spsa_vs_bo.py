@@ -131,12 +131,18 @@ def fig8_spsa_spec(
     rounds: int = 40,
     base_seed: int = 1,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """The NoStop side of the Fig. 8 comparison (one cell per repeat)."""
+    base = {"workload": workload, "rounds": rounds, "count_only": count_only}
+    if fidelity != "exact":
+        # Only non-default tiers enter the cell params, so exact-tier
+        # cell digests (cache keys, journal identities) are unchanged.
+        base["fidelity"] = fidelity
     return SweepSpec(
         name=f"fig8-{workload}-spsa",
         kind="nostop",
-        base={"workload": workload, "rounds": rounds, "count_only": count_only},
+        base=base,
         cases=[{"seed": s} for s in paper_repeat_seeds(base_seed, repeats)],
     )
 
@@ -147,16 +153,20 @@ def fig8_bo_spec(
     bo_evaluations: int = 80,
     base_seed: int = 1,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """The Bayesian-optimization side of the Fig. 8 comparison."""
+    base = {
+        "workload": workload,
+        "max_evaluations": bo_evaluations,
+        "count_only": count_only,
+    }
+    if fidelity != "exact":
+        base["fidelity"] = fidelity
     return SweepSpec(
         name=f"fig8-{workload}-bo",
         kind="bo",
-        base={
-            "workload": workload,
-            "max_evaluations": bo_evaluations,
-            "count_only": count_only,
-        },
+        base=base,
         cases=[{"seed": s} for s in paper_repeat_seeds(base_seed, repeats)],
     )
 
@@ -169,6 +179,7 @@ def run_fig8_one(
     base_seed: int = 1,
     runner: Optional[SweepRunner] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> WorkloadComparison:
     """SPSA-vs-BO repeats for one workload.
 
@@ -184,6 +195,7 @@ def run_fig8_one(
             rounds=rounds,
             base_seed=base_seed,
             count_only=count_only,
+            fidelity=fidelity,
         )
     )
     bo = runner.run(
@@ -193,6 +205,7 @@ def run_fig8_one(
             bo_evaluations=bo_evaluations,
             base_seed=base_seed,
             count_only=count_only,
+            fidelity=fidelity,
         )
     )
     cmp_ = WorkloadComparison(workload=workload)
@@ -209,6 +222,7 @@ def run_fig8(
     workloads=PAPER_WORKLOADS,
     runner: Optional[SweepRunner] = None,
     count_only: bool = False,
+    fidelity: str = "exact",
 ) -> Fig8Result:
     """Full Fig. 8 over the four paper workloads."""
     runner = runner or SweepRunner()
@@ -222,6 +236,7 @@ def run_fig8(
             base_seed=base_seed,
             runner=runner,
             count_only=count_only,
+            fidelity=fidelity,
         )
     return result
 

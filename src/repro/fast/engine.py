@@ -1,0 +1,335 @@
+"""Vectorized batch-level engine: cost-model arrays to makespans.
+
+The exact scheduler (:class:`repro.engine.task_scheduler.TaskScheduler`)
+walks a heap of executor-core slots task by task.  This engine computes
+the same quantity — the batch processing time — for *blocks* of batches
+at once:
+
+1. per-task base costs come straight from the workload cost model's
+   per-stage linear laws (the same ``fixed/P + n·cpr`` split
+   :meth:`~repro.workloads.base.Workload.build_job` performs, as a
+   ``(batches, partitions)`` array);
+2. one mean-1 lognormal draw covers every task of every stage execution
+   in the block;
+3. the LPT fold exploits that within one stage all tasks are near-equal
+   (an even record split differs by at most one record), so the greedy
+   earliest-free-core schedule the exact heap computes reduces to a
+   *static assignment* — a pure function of the core speed profile and
+   the partition count, computed once with a tiny scalar heap and
+   cached.  Per-core loads then follow in closed form from each batch's
+   record split, and per-task noise folds into one aggregated mean-1
+   lognormal multiplier per core (same mean, variance shrunk by its
+   task count — the exact distribution of an averaged mean-1 lognormal
+   to second order);
+4. serial driver overheads (batch setup, per-stage-execution setup and
+   coordination, per-task dispatch on the critical core) are charged
+   exactly as the overhead model specifies.
+
+Iterated ML stages draw their per-batch iteration counts in one
+``integers`` call and expand to stage-execution rows with ``repeat``;
+per-batch stage times come back via ``bincount``.  When the pool has at
+least one core per task no assignment is needed at all (each task runs
+alone on one core, popped in executor order off the barrier tie exactly
+as the heap does), which is what makes 10k-executor scenarios cheap.
+
+The ``fluid`` mode evaluates the utilization-law closed form
+(:func:`repro.check.oracles.predict_processing_time`) over the same
+arrays: no noise, mean iteration counts, instant.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cluster.executor import Executor
+from repro.engine.overhead import OverheadModel
+from repro.workloads.base import Workload
+
+
+class ExecutorProfile:
+    """Per-core speed/penalty arrays for one executor pool snapshot.
+
+    Rebuilt whenever the pool changes (scale up/down, crash) — cheap,
+    O(cores) — so the engine's vector math never touches ``Executor``
+    objects on the per-batch path.
+    """
+
+    __slots__ = (
+        "num_executors",
+        "total_cores",
+        "inv_speed",
+        "io_penalty",
+        "compute_capacity",
+        "mean_io_penalty",
+        "uniform",
+        "assign_cache",
+    )
+
+    def __init__(self, executors: Sequence[Executor]) -> None:
+        if not executors:
+            raise ValueError("profile needs at least one executor")
+        speed: List[float] = []
+        penalty: List[float] = []
+        for ex in executors:
+            s = ex.speed_factor
+            p = ex.io_penalty
+            for _ in range(ex.cores):
+                speed.append(s)
+                penalty.append(p)
+        speed_arr = np.asarray(speed, dtype=np.float64)
+        self.num_executors = len(executors)
+        self.total_cores = len(speed)
+        self.inv_speed = 1.0 / speed_arr
+        self.io_penalty = np.asarray(penalty, dtype=np.float64)
+        self.compute_capacity = float(speed_arr.sum())
+        self.mean_io_penalty = float(self.io_penalty.mean())
+        self.uniform = bool(
+            np.ptp(speed_arr) < 1e-12 and np.ptp(self.io_penalty) < 1e-12
+        )
+        #: Static LPT assignments memoized per (io_fraction, partitions,
+        #: noise_sigma, dispatch) — see FastBatchEngine._assignment.
+        self.assign_cache: dict = {}
+
+    def core_factors(self, io_fraction: float) -> np.ndarray:
+        """Per-core seconds per unit of speed-1 work at ``io_fraction``.
+
+        A task whose speed-1 cost is ``w`` with an ``io_fraction`` share
+        of I/O runs in ``w * f_c`` seconds on core ``c``.
+        """
+        return (1.0 - io_fraction) * self.inv_speed + io_fraction * self.io_penalty
+
+
+class FastBatchEngine:
+    """Block-vectorized (or fluid) batch processing-time engine.
+
+    Owns the same busy-timeline state the exact
+    :class:`~repro.streaming.simulator.MicroBatchEngine` exposes
+    (``free_at``, ``jobs_run``, ``total_pause_injected``,
+    ``note_reconfiguration``) so controllers and invariant checks see an
+    identical surface.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        overhead: OverheadModel,
+        rng: np.random.Generator,
+        noise_sigma: float = 0.10,
+        mode: str = "vectorized",
+    ) -> None:
+        if mode not in ("vectorized", "fluid"):
+            raise ValueError(
+                f"mode must be 'vectorized' or 'fluid', got {mode!r}"
+            )
+        if noise_sigma < 0:
+            raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+        self.workload = workload
+        self.overhead = overhead
+        self.rng = rng
+        self.sigma = float(noise_sigma)
+        self.mode = mode
+        self.profile: ExecutorProfile | None = None
+        #: Engine-busy timeline, as in the exact micro-batch engine.
+        self.free_at = 0.0
+        self.jobs_run = 0
+        self.total_pause_injected = 0.0
+        self._reconfig_pending = False
+
+    # -- exact-engine surface ------------------------------------------------
+
+    def note_reconfiguration(self, now: float, pause: float) -> None:
+        """Inject the reconfiguration pause into the busy timeline."""
+        if pause < 0:
+            raise ValueError("pause must be >= 0")
+        self.free_at = max(self.free_at, now) + pause
+        self.total_pause_injected += pause
+        self._reconfig_pending = True
+
+    def set_profile(self, executors: Sequence[Executor]) -> None:
+        """Snapshot the current executor pool into array form."""
+        self.profile = ExecutorProfile(executors)
+
+    # -- batch costs ---------------------------------------------------------
+
+    def batch_proc_times(self, cost_records: np.ndarray) -> np.ndarray:
+        """Processing times for a block of batches.
+
+        ``cost_records`` holds each batch's *effective* record count
+        (post window expansion).  Vectorized mode consumes RNG state —
+        iteration draws then task noise, in block order — so results
+        are deterministic per (seed, call sequence).
+        """
+        if self.profile is None:
+            raise RuntimeError("set_profile() must run before batch costs")
+        cr = np.asarray(cost_records, dtype=np.int64)
+        if self.mode == "fluid":
+            return self._fluid_proc_times(cr)
+        return self._vectorized_proc_times(cr)
+
+    def _fluid_proc_times(self, cr: np.ndarray) -> np.ndarray:
+        prof = self.profile
+        ov = self.overhead
+        model = self.workload.cost_model
+        partitions = self.workload.partitions
+        serial = ov.stage_setup + ov.coordination_cost(prof.num_executors)
+        cores = float(prof.total_cores)
+        dispatch = partitions * ov.task_dispatch / cores
+        crf = cr.astype(np.float64)
+        t = np.full(cr.shape[0], ov.batch_setup)
+        for sc in model.stages:
+            reps = (
+                model.iterations.mean
+                if sc.name in model.iterated_stages
+                else 1.0
+            )
+            compute = crf * sc.compute_per_record + sc.fixed_compute
+            io = crf * sc.io_per_record
+            t += reps * (
+                serial
+                + compute / prof.compute_capacity
+                + io * prof.mean_io_penalty / cores
+                + dispatch
+            )
+        return t
+
+    def _vectorized_proc_times(self, cr: np.ndarray) -> np.ndarray:
+        prof = self.profile
+        ov = self.overhead
+        model = self.workload.cost_model
+        partitions = self.workload.partitions
+        k = cr.shape[0]
+        serial = ov.stage_setup + ov.coordination_cost(prof.num_executors)
+
+        im = model.iterations
+        if im.lo == im.hi:
+            iters = np.full(k, im.lo, dtype=np.int64)
+        else:
+            iters = self.rng.integers(im.lo, im.hi + 1, size=k)
+
+        # Even split of records over partitions — the array form of
+        # build_job's divmod loop.  The remainder goes to the first
+        # partitions, so tasks are born in LPT (longest-first) order.
+        base, rem = np.divmod(cr, partitions)
+        cr_sum = float(cr.sum())
+
+        proc = np.full(k, ov.batch_setup)
+        row_batch = None  # built lazily, only if a stage iterates
+        for sc in model.stages:
+            # Per-task cost law of build_job: fixed/P + n_i * per-record.
+            q = sc.fixed_compute / partitions
+            u = sc.compute_per_record + sc.io_per_record
+            compute_total = cr_sum * sc.compute_per_record + k * sc.fixed_compute
+            io_total = cr_sum * sc.io_per_record
+            denom = compute_total + io_total
+            io_fraction = io_total / denom if denom > 0.0 else 0.0
+            if sc.name in model.iterated_stages:
+                if row_batch is None:
+                    row_batch = np.repeat(np.arange(k), iters)
+                makespans = self._stage_makespans(
+                    base[row_batch], rem[row_batch], q, u,
+                    io_fraction, partitions,
+                )
+                stage_time = np.bincount(
+                    row_batch, weights=makespans, minlength=k
+                )
+                proc += iters * serial + stage_time
+            else:
+                proc += serial + self._stage_makespans(
+                    base, rem, q, u, io_fraction, partitions
+                )
+        return proc
+
+    def _assignment(self, io_fraction: float, partitions: int) -> tuple:
+        """Static LPT task→core assignment for near-equal tasks.
+
+        Greedy earliest-free-core scheduling of ``partitions`` equal
+        tasks over the profile's cores — the schedule the exact heap
+        produces up to intra-stage noise — run once with a scalar heap
+        and memoized on the profile.  Returns ``(factors, counts, cum,
+        sig)``: per-core cost factors, per-core task counts, the prefix
+        table ``cum[r, c]`` = how many of the first ``r`` tasks land on
+        core ``c`` (first ``r`` tasks carry the remainder record), and
+        the per-core aggregated noise sigma (a mean of ``counts[c]``
+        mean-1 lognormals has its variance shrunk by ``counts[c]``).
+        """
+        prof = self.profile
+        key = (io_fraction, partitions)
+        hit = prof.assign_cache.get(key)
+        if hit is not None:
+            return hit
+        cores = prof.total_cores
+        factors = prof.core_factors(io_fraction)
+        per_task = factors + self.overhead.task_dispatch
+        # (free_at, core) heap; the all-zero barrier tie pops in core
+        # order, as the exact heap's slot-sequence tie-break does.
+        heap = [(0.0, c) for c in range(cores)]
+        assign = np.empty(partitions, dtype=np.intp)
+        for i in range(partitions):
+            t, c = heapq.heappop(heap)
+            assign[i] = c
+            heapq.heappush(heap, (t + per_task[c], c))
+        onehot = np.zeros((partitions, cores))
+        onehot[np.arange(partitions), assign] = 1.0
+        cum = np.zeros((partitions + 1, cores))
+        np.cumsum(onehot, axis=0, out=cum[1:])
+        counts = cum[-1].copy()
+        var = np.expm1(self.sigma**2) / np.maximum(counts, 1.0)
+        sig = np.sqrt(np.log1p(var))
+        sig[counts == 0.0] = 0.0
+        hit = (factors, counts, cum, sig)
+        prof.assign_cache[key] = hit
+        return hit
+
+    def _stage_makespans(
+        self,
+        base: np.ndarray,
+        rem: np.ndarray,
+        q: float,
+        u: float,
+        io_fraction: float,
+        partitions: int,
+    ) -> np.ndarray:
+        """Makespans of one stage execution per row.
+
+        ``base``/``rem`` are the per-row record split (``divmod`` of the
+        effective record count by ``partitions``); ``q``/``u`` the
+        stage's fixed-per-task and per-record speed-1 costs.  Noise is
+        applied after task ordering, exactly as the exact scheduler
+        draws per-attempt noise over its pre-sorted task list.
+        """
+        prof = self.profile
+        dispatch = self.overhead.task_dispatch
+        cores = prof.total_cores
+        rows = base.shape[0]
+        sigma = self.sigma
+        if cores >= partitions:
+            # One core per task: no queueing, the stage ends with its
+            # slowest task.  The exact heap pops the barrier tie in
+            # executor order, so task i lands on core i.  Uniform pools
+            # reduce to a row-max — the 10k-executor scale path.
+            n = base[:, None] + (
+                np.arange(partitions)[None, :] < rem[:, None]
+            )
+            w = n * u + q
+            if sigma:
+                z = self.rng.standard_normal(size=w.shape)
+                w = w * np.exp(sigma * z - 0.5 * sigma**2)
+            factors = prof.core_factors(io_fraction)
+            if prof.uniform:
+                return w.max(axis=1) * factors[0] + dispatch
+            return (w * factors[None, :partitions]).max(axis=1) + dispatch
+        factors, counts, cum, sig = self._assignment(io_fraction, partitions)
+        # Closed-form per-core loads from the static assignment: core c
+        # runs counts[c] tasks of base cost q + u*base, of which
+        # cum[rem, c] carry one extra record.
+        loads = (u * base + q)[:, None] * (factors * counts)[None, :] + (
+            u * factors
+        )[None, :] * cum[rem]
+        if sigma:
+            z = self.rng.standard_normal(size=(rows, cores))
+            loads = loads * np.exp(sig * z - 0.5 * sig * sig)
+        return (loads + counts * dispatch).max(axis=1)
+

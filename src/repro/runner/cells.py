@@ -81,6 +81,7 @@ def _fixed_config_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     warmup = int(_pop(params, "warmup", 5))
     max_executors = int(_pop(params, "max_executors", 20))
     count_only = bool(_pop(params, "count_only", False))
+    fidelity = str(_pop(params, "fidelity", "exact"))
     if params:
         raise TypeError(f"fixed_config: unknown params {sorted(params)}")
 
@@ -91,6 +92,7 @@ def _fixed_config_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         num_executors=executors,
         max_executors=max_executors,
         count_only=count_only,
+        fidelity=fidelity,
     )
     run = run_fixed_configuration(setup.context, batches=batches, warmup=warmup)
     return {
@@ -143,10 +145,13 @@ def _nostop_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     collector_window = params.pop("collector_window", None)
     collector_max_window = params.pop("collector_max_window", None)
     count_only = bool(_pop(params, "count_only", False))
+    fidelity = str(_pop(params, "fidelity", "exact"))
     if params:
         raise TypeError(f"nostop: unknown params {sorted(params)}")
 
-    setup = build_experiment(workload, seed=seed, count_only=count_only)
+    setup = build_experiment(
+        workload, seed=seed, count_only=count_only, fidelity=fidelity
+    )
     gains = _resolve_gains(gains_spec, setup.scaler, rounds)
     controller = make_controller(setup, seed=seed, gains=gains)
     if collector_window is not None:
@@ -209,10 +214,13 @@ def _bo_cell(params: Dict[str, Any]) -> Dict[str, Any]:
     seed = int(params.pop("seed"))
     max_evaluations = int(_pop(params, "max_evaluations", 80))
     count_only = bool(_pop(params, "count_only", False))
+    fidelity = str(_pop(params, "fidelity", "exact"))
     if params:
         raise TypeError(f"bo: unknown params {sorted(params)}")
 
-    setup = build_experiment(workload, seed=seed, count_only=count_only)
+    setup = build_experiment(
+        workload, seed=seed, count_only=count_only, fidelity=fidelity
+    )
     report = run_bayesian_optimization(
         setup.system,
         setup.scaler,

@@ -54,6 +54,41 @@ class TestDet001UnseededRandomness:
             "import numpy.random as npr\nx = npr.randint(3)\n"
         ) == ["DET001"]
 
+    def test_explicit_none_seed_flagged(self):
+        # default_rng(None) / default_rng(seed=None) are just spelled-out
+        # OS-entropy seeds.
+        assert rules(
+            "import numpy as np\nrng = np.random.default_rng(None)\n"
+        ) == ["DET001"]
+        assert rules(
+            "import numpy as np\nrng = np.random.default_rng(seed=None)\n"
+        ) == ["DET001"]
+
+    def test_unseeded_bit_generator_flagged(self):
+        assert rules(
+            "import numpy as np\nbg = np.random.PCG64()\n"
+        ) == ["DET001"]
+        assert rules(
+            "import numpy as np\nbg = np.random.MT19937(seed=None)\n"
+        ) == ["DET001"]
+
+    def test_generator_wrapping_unseeded_bit_generator_flagged(self):
+        # Generator(bg) itself has an argument, but the nested PCG64()
+        # construction is where the OS entropy sneaks in.
+        assert rules(
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64())\n"
+        ) == ["DET001"]
+
+    def test_seeded_bit_generator_clean(self):
+        assert rules(
+            "import numpy as np\n"
+            "g = np.random.Generator(np.random.PCG64(12))\n"
+        ) == []
+        assert rules(
+            "import numpy as np\nbg = np.random.Philox(seed=3)\n"
+        ) == []
+
 
 class TestDet002WallClock:
     def test_time_time_flagged(self):
