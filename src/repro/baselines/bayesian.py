@@ -26,9 +26,16 @@ from repro.core.adjust import (
 from repro.core.bounds import Box, MinMaxScaler
 from repro.core.metrics_collector import MetricsCollector
 from repro.core.pause import PauseRule
+from repro.obs import catalog
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry
 
 from .acquisition import expected_improvement
 from .gp import GaussianProcess
+
+#: Finite stand-in for a diverged (non-finite) objective observation.
+#: Large enough to rank a diverged configuration strictly worst, small
+#: enough to keep the GP solve numerically sane.
+DIVERGENCE_PENALTY = 1.0e6
 
 
 @dataclass(frozen=True)
@@ -61,7 +68,11 @@ class BOReport:
     def best(self) -> BOEvaluation:
         if not self.evaluations:
             raise RuntimeError("no evaluations recorded")
-        return min(self.evaluations, key=lambda e: e.objective)
+        # Lexicographic-θ tie-break keeps the winner independent of
+        # evaluation order when objectives tie exactly.
+        return min(
+            self.evaluations, key=lambda e: (e.objective, tuple(e.theta))
+        )
 
 
 class BayesianOptimizer:
@@ -75,28 +86,59 @@ class BayesianOptimizer:
         candidates_per_step: int = 256,
         noise_var: float = 0.05,
         length_scale_frac: float = 0.2,
+        divergence_penalty: float = DIVERGENCE_PENALTY,
     ) -> None:
         if init_points < 2:
             raise ValueError("init_points must be >= 2")
         if candidates_per_step < 8:
             raise ValueError("candidates_per_step must be >= 8")
+        if not np.isfinite(divergence_penalty):
+            raise ValueError("divergence_penalty must be finite")
         self.box = box
         self.rng = np.random.default_rng(seed)
         self.init_points = init_points
         self.candidates = candidates_per_step
         self.noise_var = noise_var
         self.length_scale_frac = length_scale_frac
+        self.divergence_penalty = divergence_penalty
+        #: Non-finite observations clamped to the divergence penalty.
+        self.penalized = 0
         self._x: List[np.ndarray] = []
         self._y: List[float] = []
+        self._initial_design = self._latin_hypercube(init_points)
+        self.instrument(NOOP_REGISTRY)
+
+    def instrument(self, registry: MetricsRegistry) -> None:
+        """Bind telemetry instruments (no-op registry by default)."""
+        self._m_penalized = catalog.instrument(
+            registry, "repro_tuner_penalized_total"
+        )
+
+    def _latin_hypercube(self, n: int) -> np.ndarray:
+        """Seeded Latin-hypercube design over the box.
+
+        Each axis's range is cut into ``n`` equal strata; a random
+        permutation assigns every sample exactly one stratum per axis,
+        and the point lands uniformly inside its stratum.  Every
+        one-dimensional projection of the design therefore covers all
+        ``n`` strata — the space-filling property plain uniform draws
+        only achieve in expectation.
+        """
+        u = self.rng.uniform(size=(n, self.box.dim))
+        design = np.empty((n, self.box.dim))
+        for axis in range(self.box.dim):
+            strata = self.rng.permutation(n)
+            design[:, axis] = (strata + u[:, axis]) / n
+        return self.box.lower + design * self.box.ranges
 
     # -- ask/tell ---------------------------------------------------------
 
     def ask(self) -> np.ndarray:
         """Next configuration to evaluate."""
         if len(self._x) < self.init_points:
-            # Space-filling initial design: stratified uniform samples.
-            frac = self.rng.uniform(size=self.box.dim)
-            return self.box.lower + frac * self.box.ranges
+            # Space-filling initial design: Latin-hypercube samples drawn
+            # at construction (one stratum per axis per sample).
+            return self._initial_design[len(self._x)].copy()
         gp = GaussianProcess(
             length_scales=self.box.ranges * self.length_scale_frac,
             signal_var=1.0,
@@ -110,11 +152,20 @@ class BayesianOptimizer:
         return cand[int(np.argmax(ei))]
 
     def tell(self, theta: Sequence[float], y: float) -> None:
+        """Record one observation.
+
+        A non-finite objective (a diverged, unstable-queue probe) is
+        clamped to the finite divergence penalty instead of raising —
+        one bad configuration must not abort a whole tournament run.
+        The clamp is counted on ``repro_tuner_penalized_total``.
+        """
         t = np.asarray(theta, dtype=float)
         if not self.box.contains(t):
             raise ValueError(f"theta {t} outside the feasible box")
         if not np.isfinite(y):
-            raise ValueError(f"objective must be finite, got {y}")
+            y = self.divergence_penalty
+            self.penalized += 1
+            self._m_penalized.inc()
         self._x.append(t)
         self._y.append(float(y))
 
@@ -125,7 +176,14 @@ class BayesianOptimizer:
     def best_theta(self) -> np.ndarray:
         if not self._x:
             raise RuntimeError("no observations yet")
-        return self._x[int(np.argmin(self._y))].copy()
+        best_y = min(self._y)
+        tied = [
+            tuple(float(v) for v in x)
+            for x, y in zip(self._x, self._y) if y == best_y
+        ]
+        # Lexicographically smallest θ among exact ties: deterministic
+        # under any observation order.
+        return np.asarray(min(tied), dtype=float)
 
 
 def run_bayesian_optimization(

@@ -31,7 +31,9 @@ class GridSearchReport:
     def best(self) -> EvaluatedConfig:
         if not self.evaluations:
             raise RuntimeError("no evaluations recorded")
-        return min(self.evaluations, key=lambda e: e.objective)
+        # Exact objective ties break lexicographically on θ, not on grid
+        # enumeration order, so the winner survives grid re-orderings.
+        return min(self.evaluations, key=lambda e: (e.objective, e.theta))
 
 
 def grid_points(scaler: MinMaxScaler, points_per_axis: int) -> np.ndarray:

@@ -32,7 +32,9 @@ class RandomSearchReport:
     def best(self) -> EvaluatedConfig:
         if not self.evaluations:
             raise RuntimeError("no evaluations recorded")
-        return min(self.evaluations, key=lambda e: e.objective)
+        # Exact objective ties break lexicographically on θ, never on
+        # draw order: the reported winner is seed-order independent.
+        return min(self.evaluations, key=lambda e: (e.objective, e.theta))
 
 
 def run_random_search(

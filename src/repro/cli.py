@@ -22,6 +22,10 @@ Run ``python -m repro <command>``:
 * ``sweep``     — run a figure sweep through the parallel sweep runner
                   with the content-addressed result cache (``--workers``,
                   ``--no-cache``, ``--clear-cache``, ``--cache-dir``);
+* ``tournament``— rank every registered tuner (SPSA, BO, annealing,
+                  random, grid, RL, safe-online) across scenario shapes
+                  on the parallel runner; ``--json`` writes the
+                  byte-deterministic leaderboard;
 * ``compare``   — SPSA vs BO vs annealing vs random search on one workload;
 * ``workloads`` — list available workloads and their paper rate bands.
 """
@@ -566,6 +570,103 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_tournament(args) -> int:
+    """Rank every registered tuner across scenario shapes."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.runner import (
+        ResultCache,
+        RetryPolicy,
+        SweepJournal,
+        SweepRunner,
+        default_cache_dir,
+    )
+    from repro.runner.spec import SweepSpec
+    from repro.tuners import (
+        build_leaderboard,
+        render_leaderboard,
+        scenario_names,
+        tuner_names,
+    )
+
+    roster = (
+        [t.strip() for t in args.tuners.split(",") if t.strip()]
+        if args.tuners
+        else tuner_names()
+    )
+    unknown = sorted(set(roster) - set(tuner_names()))
+    if unknown:
+        print(f"unknown tuner(s) {unknown}; registered: {tuner_names()}",
+              file=sys.stderr)
+        return 2
+    scenarios = (
+        [s.strip() for s in args.scenarios.split(",") if s.strip()]
+        if args.scenarios
+        else ["steady", "step", "spike"]
+    )
+    bad = sorted(set(scenarios) - set(scenario_names()))
+    if bad:
+        print(f"unknown scenario(s) {bad}; expected {scenario_names()}",
+              file=sys.stderr)
+        return 2
+
+    spec = SweepSpec(
+        name="tournament",
+        kind="tournament",
+        base={
+            "workload": args.workload,
+            "budget": args.budget,
+            "fidelity": args.fidelity,
+            "slo_delay": args.slo,
+        },
+        grid={
+            "tuner": roster,
+            "scenario": scenarios,
+            "seed": [args.seed + 100 * r for r in range(args.repeats)],
+        },
+    )
+    import os as _os
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    journal = SweepJournal(Path(args.journal)) if args.journal else None
+    workers = args.workers if args.workers else (_os.cpu_count() or 1)
+    runner = SweepRunner(
+        workers=workers,
+        cache=ResultCache(cache_dir),
+        use_cache=not args.no_cache,
+        journal=journal,
+        retry=RetryPolicy(max_retries=args.retries),
+    )
+    sweep = runner.run(spec)
+    payload = build_leaderboard(
+        sweep.results,
+        budget=args.budget,
+        slo_delay=args.slo,
+        fidelity=args.fidelity,
+    )
+    print(render_leaderboard(payload))
+    t = runner.totals
+    print(
+        f"\ntournament: {t.cells} cells | {t.cache_hits} cache hits, "
+        f"{t.executed} executed ({t.batches_executed} batches simulated), "
+        f"{t.failed} failed | {t.workers} worker(s), "
+        f"{t.wall_seconds:.2f}s wall",
+        file=sys.stderr,
+    )
+    for failure in runner.failures:
+        print(
+            f"  cell {failure.get('cellIndex')}: {failure.get('error')}",
+            file=sys.stderr,
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"leaderboard written to {args.json}", file=sys.stderr)
+    return 1 if (t.failed and args.strict) else 0
+
+
 def _cmd_compare(args) -> int:
     from repro.baselines.annealing import run_simulated_annealing
     from repro.baselines.bayesian import run_bayesian_optimization
@@ -814,6 +915,46 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit 1 if any cell failed (default: degrade "
                         "gracefully and exit 0)")
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "tournament",
+        help="rank every registered tuner across scenario shapes on the "
+             "parallel sweep runner",
+    )
+    p.add_argument("--tuners", default=None,
+                   help="comma list of tuner names (default: all registered)")
+    p.add_argument("--scenarios", default=None,
+                   help="comma list of scenario shapes "
+                        "(default: steady,step,spike; also: sine)")
+    p.add_argument("--workload", default="wordcount",
+                   choices=sorted(WORKLOADS))
+    p.add_argument("--budget", type=int, default=30,
+                   help="objective evaluations per tuner run")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--repeats", type=int, default=1,
+                   help="seeds per (tuner, scenario) cell, spaced by 100")
+    p.add_argument("--fidelity", default="vectorized",
+                   choices=["exact", "vectorized", "fluid"],
+                   help="simulation tier (default: the oracle-validated "
+                        "vectorized engine)")
+    p.add_argument("--slo", type=float, default=30.0,
+                   help="end-to-end delay SLO in seconds")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (default: all CPU cores)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore cached cell results")
+    p.add_argument("--cache-dir", default=None,
+                   help="cache root (default: $REPRO_SWEEP_CACHE or "
+                        "~/.cache/repro/sweeps)")
+    p.add_argument("--journal", default=None,
+                   help="write-ahead journal (JSONL) for crash-safe resume")
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument("--json", default=None,
+                   help="write the leaderboard as sorted-key JSON "
+                        "(byte-identical at a fixed seed)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 if any cell failed")
+    p.set_defaults(func=_cmd_tournament)
 
     p = sub.add_parser("compare", help="compare optimizers on one workload")
     p.add_argument("--workload", default="linear_regression",

@@ -126,6 +126,37 @@ class ResourceManager:
     def total_cores(self) -> int:
         return sum(e.cores for e in self._executors.values())
 
+    def capacity_with(
+        self, cores: int, memory_gb: Optional[float] = None
+    ) -> int:
+        """Hypothetical pool size the cluster could host at a given
+        per-executor sizing, counting this manager's own allocations as
+        free (a full-pool relaunch releases them first).
+
+        Offline nodes contribute nothing: executors stranded on a node
+        that went down mid-outage cannot be re-placed there.
+        """
+        if cores < 1:
+            raise ValueError(f"executor cores must be >= 1, got {cores}")
+        memory_gb = self.executor_memory_gb if memory_gb is None else memory_gb
+        mine_cores: Dict[int, int] = {}
+        mine_mem: Dict[int, float] = {}
+        for e in self._executors.values():
+            mine_cores[e.node.node_id] = (
+                mine_cores.get(e.node.node_id, 0) + e.cores
+            )
+            mine_mem[e.node.node_id] = (
+                mine_mem.get(e.node.node_id, 0.0) + e.memory_gb
+            )
+        total = 0
+        for node in self.cluster.workers:
+            if not node.online:
+                continue
+            free_cores = node.free_cores + mine_cores.get(node.node_id, 0)
+            free_mem = node.free_memory_gb + mine_mem.get(node.node_id, 0.0)
+            total += min(free_cores // cores, int(free_mem // memory_gb))
+        return total
+
     def newly_launched(self, since: float) -> List[Executor]:
         """Executors launched at or after simulation time ``since``."""
         return [e for e in self.executors if e.launched_at >= since]
@@ -287,3 +318,45 @@ class ResourceManager:
             (self._m_scale_up if delta > 0 else self._m_scale_down).inc()
         self._m_executors.set(self.executor_count)
         return delta
+
+    def resize_cores(
+        self, cores: int, now: float = 0.0, target: Optional[int] = None
+    ) -> int:
+        """Relaunch the pool with a new per-executor core count.
+
+        Changing ``spark.executor.cores`` cannot be applied to a running
+        executor: the whole pool is decommissioned and relaunched at the
+        new sizing (fresh executors pay the startup charge on their
+        first task, surfacing the real cost of a core resize).
+        ``target`` is the pool size after the resize (default: the
+        current count, letting callers combine a resize with a scale in
+        one transactional step).
+
+        An atomic pre-check against :meth:`capacity_with` makes the
+        operation transactional: on
+        :class:`InsufficientResourcesError` nothing has changed.
+        Returns the resulting pool size.
+        """
+        if cores < 1:
+            raise ValueError(f"executor cores must be >= 1, got {cores}")
+        target = self.executor_count if target is None else target
+        if target < 0:
+            raise ValueError(
+                f"target executor count must be >= 0, got {target}"
+            )
+        if cores == self.executor_cores:
+            self.scale_to(target, now)
+            return self.executor_count
+        if target > self.capacity_with(cores):
+            raise InsufficientResourcesError(
+                f"cluster {self.cluster.name!r} cannot host {target} "
+                f"{cores}-core executors "
+                f"(capacity {self.capacity_with(cores)})"
+            )
+        for executor_id in list(self._executors):
+            self.remove_executor(executor_id)
+        self.executor_cores = cores
+        self._launch_many(target, now)
+        self.reconfigurations += 1
+        self._m_executors.set(self.executor_count)
+        return self.executor_count

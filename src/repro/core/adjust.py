@@ -49,13 +49,15 @@ class ControlledSystem(abc.ABC):
         batch_interval: float,
         num_executors: int,
         partitions: Optional[int] = None,
+        executor_cores: Optional[int] = None,
     ) -> None:
         """Table 1's ``changeConfigurations(θ)``: live reconfiguration.
 
         ``partitions`` is the optional third tunable of the paper's
         future-work extension ("SPSA is able to optimize multiple
         parameters simultaneously without additional overhead", §7);
-        two-parameter systems may ignore it.
+        ``executor_cores`` the optional fourth (per-executor sizing,
+        relaunching the pool).  Two-parameter systems may ignore both.
         """
 
     @abc.abstractmethod
@@ -120,16 +122,24 @@ def theta_to_configuration(
 ) -> tuple:
     """Convert a scaled θ into an applicable configuration tuple.
 
-    Axis order is ``(batch interval, executors[, partitions])``.  The
-    batch interval is kept at millisecond resolution ("batch interval is
-    in unit of milliseconds", §4.2.1); executors and partitions are
-    integers.  The optional third axis is the paper's future-work
-    multi-parameter extension.
+    Axis order is ``(batch interval, executors[, partitions[, executor
+    cores]])``.  The batch interval is kept at millisecond resolution
+    ("batch interval is in unit of milliseconds", §4.2.1); executors,
+    partitions, and cores are integers.  The optional third axis is the
+    paper's future-work multi-parameter extension; the fourth is the
+    tuner tournament's per-executor sizing axis.
     """
-    physical = scaler.to_physical(np.asarray(theta_scaled, dtype=float))
-    if not 2 <= len(physical) <= 3:
+    t = np.asarray(theta_scaled, dtype=float)
+    if t.shape != scaler.scaled.lower.shape:
+        # Without this check a short θ broadcasts against the bound
+        # arrays and silently yields a full-width configuration.
         raise ValueError(
-            f"configuration space must have 2 or 3 axes, got {len(physical)}"
+            f"theta has {t.size} axes, space has {scaler.scaled.dim}"
+        )
+    physical = scaler.to_physical(t)
+    if not 2 <= len(physical) <= 4:
+        raise ValueError(
+            f"configuration space must have 2 to 4 axes, got {len(physical)}"
         )
     lo, hi = scaler.physical.lower, scaler.physical.upper
     interval = round(float(physical[0]), 3)
@@ -196,7 +206,10 @@ class AdjustFunction:
         config = theta_to_configuration(theta_scaled, self.scaler)
         interval, executors = config[0], config[1]
         partitions = config[2] if len(config) > 2 else None
-        self.system.apply_configuration(interval, executors, partitions=partitions)
+        cores = config[3] if len(config) > 3 else None
+        self.system.apply_configuration(
+            interval, executors, partitions=partitions, executor_cores=cores
+        )
         apply_failed = bool(self.system.last_apply_failed)
         self.collector.set_degraded(self.system.degraded())
         self.collector.start_measurement()

@@ -144,3 +144,43 @@ def multi_parameter_space(
     lo, hi = scaled_range
     scaled = Box([lo, lo, lo], [hi, hi, hi])
     return MinMaxScaler(physical, scaled)
+
+
+def full_parameter_space(
+    max_executors: int = 16,
+    min_executors: int = 2,
+    min_interval: float = 1.0,
+    max_interval: float = 40.0,
+    min_partitions: int = 8,
+    max_partitions: int = 96,
+    min_cores: int = 1,
+    max_cores: int = 2,
+    scaled_range: tuple = (1.0, 20.0),
+) -> MinMaxScaler:
+    """Four-axis configuration space: interval, executors, partitions,
+    executor cores.
+
+    The tuner tournament's θ: beyond the paper's two parameters and the
+    §7 partitions extension, per-executor core count is the fourth
+    tunable (arXiv:2309.01901 tunes executor sizing online).  Executor
+    and core bounds must jointly fit the cluster —
+    ``max_executors * max_cores`` may not exceed worker core capacity,
+    which is why the defaults are tighter than the 2-axis space's.
+    """
+    if min_executors < 1 or max_executors <= min_executors:
+        raise ValueError("need 1 <= min_executors < max_executors")
+    if min_interval <= 0 or max_interval <= min_interval:
+        raise ValueError("need 0 < min_interval < max_interval")
+    if min_partitions < 1 or max_partitions <= min_partitions:
+        raise ValueError("need 1 <= min_partitions < max_partitions")
+    if min_cores < 1 or max_cores <= min_cores:
+        raise ValueError("need 1 <= min_cores < max_cores")
+    physical = Box(
+        [min_interval, float(min_executors), float(min_partitions),
+         float(min_cores)],
+        [max_interval, float(max_executors), float(max_partitions),
+         float(max_cores)],
+    )
+    lo, hi = scaled_range
+    scaled = Box([lo, lo, lo, lo], [hi, hi, hi, hi])
+    return MinMaxScaler(physical, scaled)

@@ -126,6 +126,7 @@ def controller_restore(
         controller.system.apply_configuration(
             config[0], config[1],
             partitions=config[2] if len(config) > 2 else None,
+            executor_cores=config[3] if len(config) > 3 else None,
         )
 
     audit_cursor = state.get("audit", {})

@@ -432,6 +432,7 @@ class NoStopController:
         self.system.apply_configuration(
             config[0], config[1],
             partitions=config[2] if len(config) > 2 else None,
+            executor_cores=config[3] if len(config) > 3 else None,
         )
         self._note_trace_interest("pause")
         self.audit.record_firing(

@@ -65,9 +65,15 @@ class EvaluatedConfig:
     stable: bool = True
 
     @property
-    def sort_key(self) -> Tuple[bool, float]:
-        """Feasible (stable) configurations first, then by objective."""
-        return (not self.stable, self.objective)
+    def sort_key(self) -> Tuple[bool, float, Tuple[float, ...]]:
+        """Feasible (stable) configurations first, then by objective.
+
+        Exact objective ties break lexicographically on θ, never on
+        insertion order: leaderboards and ``best_config`` stay
+        deterministic regardless of the order evaluations arrived in
+        (seed-order independence).
+        """
+        return (not self.stable, self.objective, self.theta)
 
 
 class PauseRule:

@@ -70,16 +70,18 @@ class SimulatedSparkSystem(ControlledSystem):
         batch_interval: float,
         num_executors: int,
         partitions: Optional[int] = None,
+        executor_cores: Optional[int] = None,
     ) -> None:
         """Guarded reconfiguration.
 
         During an infrastructure outage the cluster may be unable to host
-        the requested executor count; Spark's dynamic-allocation request
-        would simply not be honored.  Rather than crashing the optimizer
-        (or worse, silently measuring a half-applied θ as if it were θ),
-        the guard keeps the live pool, applies the remaining tunables,
-        and raises the ``last_apply_failed`` flag so Adjust marks the
-        measurement corrupted and the controller skips the SPSA step.
+        the requested executor count (or per-executor sizing); Spark's
+        dynamic-allocation request would simply not be honored.  Rather
+        than crashing the optimizer (or worse, silently measuring a
+        half-applied θ as if it were θ), the guard keeps the live pool,
+        applies the remaining tunables, and raises the
+        ``last_apply_failed`` flag so Adjust marks the measurement
+        corrupted and the controller skips the SPSA step.
         """
         self.last_apply_failed = False
         try:
@@ -87,6 +89,7 @@ class SimulatedSparkSystem(ControlledSystem):
                 batch_interval=batch_interval,
                 num_executors=num_executors,
                 partitions=partitions,
+                executor_cores=executor_cores,
             )
         except InsufficientResourcesError:
             self.last_apply_failed = True

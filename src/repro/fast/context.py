@@ -197,14 +197,16 @@ class FastStreamingContext:
         batch_interval: Optional[float] = None,
         num_executors: Optional[int] = None,
         partitions: Optional[int] = None,
+        executor_cores: Optional[int] = None,
     ) -> None:
         """Runtime reconfiguration; semantics match the exact context.
 
-        Scaling runs first so a capacity failure leaves the
-        configuration untouched; any applied change injects the
-        reconfiguration pause, invalidates the prefetched block, and
-        marks queued batches stale (they re-cost on the live pool when
-        the engine reaches them).
+        Pool changes (core resize, then scale) run first so a capacity
+        failure leaves the configuration untouched; any applied change
+        injects the reconfiguration pause, invalidates the prefetched
+        block, and marks queued batches stale (they re-cost on the live
+        pool when the engine reaches them).  A core resize relaunches
+        the whole pool, so the startup charge is re-armed.
         """
         new_interval = (
             self._interval if batch_interval is None else batch_interval
@@ -220,8 +222,23 @@ class FastStreamingContext:
             raise ValueError(f"num_executors must be >= 1, got {new_execs}")
         if partitions is not None and partitions < 1:
             raise ValueError(f"partitions must be >= 1, got {partitions}")
+        if executor_cores is not None and executor_cores < 1:
+            raise ValueError(
+                f"executor_cores must be >= 1, got {executor_cores}"
+            )
         changed = False
-        if new_execs != self.num_executors:
+        if (
+            executor_cores is not None
+            and executor_cores != self.resource_manager.executor_cores
+        ):
+            self.resource_manager.resize_cores(
+                executor_cores, now=self.time, target=new_execs
+            )
+            self._exec_count = self.resource_manager.executor_count
+            self.engine.set_profile(self.resource_manager.executors)
+            self._startup_pending = True
+            changed = True
+        elif new_execs != self.num_executors:
             delta = self.resource_manager.scale_to(new_execs, now=self.time)
             self._exec_count = self.resource_manager.executor_count
             self.engine.set_profile(self.resource_manager.executors)

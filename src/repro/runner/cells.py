@@ -15,6 +15,8 @@ The built-in kinds cover every figure driver and ablation benchmark:
   measurements and optional gain/collector-window overrides (the
   ablation benchmarks ride on these);
 * ``bo`` — one Bayesian-optimization baseline run (Fig. 8);
+* ``tournament`` — one (tuner, scenario, seed) leaderboard run of the
+  optimizer tournament;
 * ``rate_series`` — sampled input-rate trace (Fig. 5).
 
 Every simulation-backed result carries ``batchesExecuted`` — the number
@@ -303,6 +305,57 @@ def _fault_probe_cell(params: Dict[str, Any]) -> Dict[str, Any]:
         "batchesExecuted": 0,
         "noCache": True,
     }
+
+
+@register_cell("tournament")
+def _tournament_cell(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (tuner, scenario, seed) run of the optimizer tournament.
+
+    Builds the scenario's rate trace, runs one registered tuner through
+    the shared :func:`~repro.tuners.base.run_tuner` loop over the
+    four-axis configuration space, and reports the scored leaderboard
+    row.  Defaults to the vectorized fidelity tier — a tournament is a
+    fleet of optimization runs, and the fast tier is oracle-validated
+    against the exact DES.
+    """
+    from repro.experiments.common import build_experiment
+    from repro.tuners import make_tuner, run_tuner
+    from repro.tuners.tournament import scenario_trace, tournament_space
+
+    tuner_name = str(params.pop("tuner"))
+    seed = int(params.pop("seed"))
+    workload = str(_pop(params, "workload", "wordcount"))
+    scenario = str(_pop(params, "scenario", "steady"))
+    budget = int(_pop(params, "budget", 30))
+    fidelity = str(_pop(params, "fidelity", "vectorized"))
+    slo_delay = float(_pop(params, "slo_delay", 30.0))
+    options = dict(_pop(params, "tuner_options", {}))
+    if params:
+        raise TypeError(f"tournament: unknown params {sorted(params)}")
+
+    trace = scenario_trace(scenario, workload)
+    setup = build_experiment(
+        workload, seed=seed, rate_trace=trace, fidelity=fidelity
+    )
+    space = tournament_space()
+    tuner = make_tuner(tuner_name, space, seed=seed, **options)
+    report = run_tuner(
+        tuner,
+        setup.system,
+        space,
+        max_evaluations=budget,
+        slo_delay=slo_delay,
+    )
+    result = report.to_dict()
+    result.update({
+        "workload": workload,
+        "scenario": scenario,
+        "budget": budget,
+        "fidelity": fidelity,
+        "sloDelaySeconds": slo_delay,
+        "batchesExecuted": len(setup.context.listener.metrics),
+    })
+    return result
 
 
 @register_cell("rate_series")

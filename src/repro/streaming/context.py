@@ -148,6 +148,7 @@ class StreamingContext:
         batch_interval: Optional[float] = None,
         num_executors: Optional[int] = None,
         partitions: Optional[int] = None,
+        executor_cores: Optional[int] = None,
     ) -> None:
         """Runtime reconfiguration (the ``changeConfigurations(θ)`` of
         Table 1).  No-ops when all supplied values already match.
@@ -155,6 +156,11 @@ class StreamingContext:
         ``partitions`` retunes the workload's per-stage task count — the
         third tunable of the paper's future-work multi-parameter
         extension; it takes effect on the next built job.
+
+        ``executor_cores`` resizes every executor (the fourth tunable):
+        the pool is relaunched at the new sizing, so the next batch pays
+        the executor-startup charge — core resizes are deliberately the
+        most expensive move a tuner can make.
         """
         new_interval = self._interval if batch_interval is None else batch_interval
         new_execs = self.num_executors if num_executors is None else num_executors
@@ -164,13 +170,27 @@ class StreamingContext:
             raise ValueError(f"num_executors must be >= 1, got {new_execs}")
         if partitions is not None and partitions < 1:
             raise ValueError(f"partitions must be >= 1, got {partitions}")
+        if executor_cores is not None and executor_cores < 1:
+            raise ValueError(
+                f"executor_cores must be >= 1, got {executor_cores}"
+            )
         changed = False
-        # Scale executors before committing the interval: scaling is the
-        # only step that can fail (insufficient capacity during a chaos
-        # node outage), and doing it first keeps the change transactional
-        # — a raised InsufficientResourcesError leaves the configuration
-        # exactly as it was.
-        if new_execs != self.num_executors:
+        # Resize/scale executors before committing the interval: pool
+        # changes are the only steps that can fail (insufficient
+        # capacity during a chaos node outage), and doing them first —
+        # with the resize's own atomic pre-check covering the combined
+        # (cores, count) move — keeps the change transactional: a raised
+        # InsufficientResourcesError leaves the configuration exactly as
+        # it was.
+        if (
+            executor_cores is not None
+            and executor_cores != self.resource_manager.executor_cores
+        ):
+            self.resource_manager.resize_cores(
+                executor_cores, now=self.time, target=new_execs
+            )
+            changed = True
+        elif new_execs != self.num_executors:
             self.resource_manager.scale_to(new_execs, now=self.time)
             changed = True
         if abs(new_interval - self._interval) > 1e-12:

@@ -1,0 +1,198 @@
+"""Tournament scenarios, scoring, and the leaderboard builder.
+
+A tournament fans every registered tuner across a set of *scenario
+shapes* — input-rate regimes stressing different failure modes of a
+configuration optimizer:
+
+* ``steady`` — constant rate at the workload's band midpoint; rewards
+  fast, cheap convergence;
+* ``step`` — a low→high step at t = 600 s (the §5.5 regime change);
+  punishes tuners that park early and never re-localize;
+* ``spike`` — a transient ×1.8 surge between 400 s and 700 s; punishes
+  over-reaction to temporary load;
+* ``sine`` — a ±25 % oscillation (period 300 s); rewards robust-to-
+  drift configurations over point optima.
+
+Each (tuner, scenario, seed) cell is one :func:`~repro.tuners.base.run_tuner`
+run over the four-axis configuration space (batch interval, executors,
+partitions, executor cores).  The leaderboard aggregates cells per
+tuner and ranks on the three scores, in order: mean SLO-violation
+seconds (safety first), mean convergence batches (speed second), mean
+reconfiguration seconds (cost third), with the tuner name as the final
+deterministic tie-break.  Every artifact is plain sorted-key JSON with
+no wall-clock content — byte-identical at a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.core.bounds import MinMaxScaler, full_parameter_space
+from repro.datagen.rates import (
+    PAPER_RATE_BANDS,
+    RATE_BAND_ALIASES,
+    ConstantRate,
+    RateTrace,
+    SineRate,
+    SpikeRate,
+    StepRate,
+)
+
+#: Scenario order is presentation order; the default tournament runs
+#: the first three (``sine`` is the opt-in fourth shape).
+TOURNAMENT_SCENARIOS = ("steady", "step", "spike", "sine")
+DEFAULT_SCENARIOS = ("steady", "step", "spike")
+
+#: The three leaderboard score columns, in ranking priority order.
+SCORE_COLUMNS = (
+    "sloViolationSeconds",
+    "convergenceBatches",
+    "reconfigSeconds",
+)
+
+
+def scenario_names() -> List[str]:
+    return list(TOURNAMENT_SCENARIOS)
+
+
+def _band(workload: str) -> tuple:
+    key = RATE_BAND_ALIASES.get(workload, workload)
+    try:
+        return PAPER_RATE_BANDS[key]
+    except KeyError:
+        raise KeyError(
+            f"workload {workload!r} has no paper rate band"
+        ) from None
+
+
+def scenario_trace(scenario: str, workload: str) -> RateTrace:
+    """Build one scenario's input-rate trace for a workload.
+
+    Rates derive from the workload's Fig. 5 band so every scenario is
+    calibrated to the load the paper's cluster actually handles.
+    """
+    lo, hi = _band(workload)
+    mid = (lo + hi) / 2.0
+    if scenario == "steady":
+        return ConstantRate(mid)
+    if scenario == "step":
+        return StepRate(((0.0, float(lo)), (600.0, float(hi))))
+    if scenario == "spike":
+        return SpikeRate(ConstantRate(mid), spikes=((400.0, 700.0, 1.8),))
+    if scenario == "sine":
+        return SineRate(mid, 0.25 * mid, 300.0)
+    raise KeyError(
+        f"unknown scenario {scenario!r}; expected one of "
+        f"{list(TOURNAMENT_SCENARIOS)}"
+    )
+
+
+def tournament_space() -> MinMaxScaler:
+    """The tournament's four-axis configuration space.
+
+    Batch interval and executors as in the paper, plus partitions and
+    per-executor cores — the capacity math keeps 16 two-core executors
+    feasible on the Table 2 cluster (36 worker cores).
+    """
+    return full_parameter_space()
+
+
+def build_leaderboard(
+    rows: Sequence[Mapping[str, Any]],
+    budget: int,
+    slo_delay: float,
+    fidelity: str,
+) -> Dict[str, Any]:
+    """Aggregate per-cell tuner runs into the ranked leaderboard.
+
+    ``rows`` are ``tournament`` cell results (one per tuner × scenario
+    × seed).  Failed cells (no ``tuner`` key) are dropped but counted,
+    so a crashing tuner is visible rather than silently absent.
+    """
+    grouped: Dict[str, List[Mapping[str, Any]]] = {}
+    dropped = 0
+    for row in rows:
+        name = row.get("tuner")
+        if not name:
+            dropped += 1
+            continue
+        grouped.setdefault(str(name), []).append(row)
+
+    entries: List[Dict[str, Any]] = []
+    for name in sorted(grouped):
+        runs = grouped[name]
+        n = len(runs)
+
+        def mean(key: str) -> float:
+            return float(sum(float(r[key]) for r in runs) / n)
+
+        entries.append({
+            "tuner": name,
+            "runs": n,
+            "converged": int(sum(1 for r in runs if r.get("converged"))),
+            "sloViolationSeconds": mean("sloViolationSeconds"),
+            "convergenceBatches": mean("convergenceBatches"),
+            "reconfigSeconds": mean("reconfigSeconds"),
+            "configChanges": mean("configChanges"),
+            "bestObjective": mean("bestObjective"),
+            "searchTime": mean("searchTime"),
+        })
+    entries.sort(
+        key=lambda e: (
+            e["sloViolationSeconds"],
+            e["convergenceBatches"],
+            e["reconfigSeconds"],
+            e["tuner"],
+        )
+    )
+    for rank, entry in enumerate(entries, start=1):
+        entry["rank"] = rank
+
+    scenarios = sorted({
+        str(r["scenario"]) for r in rows if "scenario" in r
+    })
+    workloads = sorted({
+        str(r["workload"]) for r in rows if "workload" in r
+    })
+    return {
+        "budget": int(budget),
+        "sloDelaySeconds": float(slo_delay),
+        "fidelity": str(fidelity),
+        "scenarios": scenarios,
+        "workloads": workloads,
+        "scoreColumns": list(SCORE_COLUMNS),
+        "cells": len(rows),
+        "cellsDropped": dropped,
+        "leaderboard": entries,
+    }
+
+
+def render_leaderboard(payload: Mapping[str, Any]) -> str:
+    """Human-readable table of a :func:`build_leaderboard` payload."""
+    from repro.analysis.tables import format_table
+
+    rows = []
+    for e in payload["leaderboard"]:
+        rows.append((
+            e["rank"],
+            e["tuner"],
+            f"{e['sloViolationSeconds']:.1f}",
+            f"{e['convergenceBatches']:.1f}",
+            f"{e['reconfigSeconds']:.1f}",
+            f"{e['bestObjective']:.2f}",
+            f"{e['converged']}/{e['runs']}",
+        ))
+    title = (
+        f"Tuner tournament: {', '.join(payload['scenarios'])} "
+        f"x {', '.join(payload['workloads'])} "
+        f"(budget {payload['budget']}, SLO {payload['sloDelaySeconds']:.0f}s, "
+        f"{payload['fidelity']} fidelity)"
+    )
+    return format_table(
+        [
+            "rank", "tuner", "SLO viol (s)", "conv batches",
+            "reconfig (s)", "best G", "converged",
+        ],
+        rows,
+        title=title,
+    )

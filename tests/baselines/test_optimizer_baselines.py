@@ -35,10 +35,13 @@ class TestBayesianOptimizerSynthetic:
         with pytest.raises(ValueError):
             opt.tell([2.0], 1.0)
 
-    def test_tell_nonfinite_rejected(self):
+    def test_tell_nonfinite_clamped_to_penalty(self):
+        # A diverged run yields an unbounded delay; the optimizer must
+        # absorb it as a finite penalty, not crash the search.
         opt = BayesianOptimizer(Box([0.0], [1.0]), seed=0)
-        with pytest.raises(ValueError):
-            opt.tell([0.5], float("inf"))
+        opt.tell([0.5], float("inf"))
+        assert opt.penalized == 1
+        assert opt._y[-1] == opt.divergence_penalty
 
     def test_best_theta_requires_observations(self):
         with pytest.raises(RuntimeError):

@@ -1,0 +1,73 @@
+"""Per-executor core resizing — the tournament's fourth tunable."""
+
+import pytest
+
+from repro.cluster.cluster import paper_cluster
+from repro.cluster.resource_manager import (
+    InsufficientResourcesError,
+    ResourceManager,
+)
+
+
+@pytest.fixture
+def rm():
+    return ResourceManager(paper_cluster())
+
+
+class TestCapacityWith:
+    def test_one_core_executors_fill_all_worker_cores(self, rm):
+        # Paper cluster workers: 6 + 6 + 12 + 12 = 36 cores.
+        assert rm.capacity_with(1) >= 18
+
+    def test_counts_own_allocations_as_free(self, rm):
+        empty = rm.capacity_with(2)
+        rm.scale_to(10)
+        assert rm.capacity_with(2) == empty
+
+    def test_wider_executors_reduce_capacity(self, rm):
+        assert rm.capacity_with(4) < rm.capacity_with(2) < rm.capacity_with(1)
+
+
+class TestResizeCores:
+    def test_resize_preserves_count_by_default(self, rm):
+        rm.scale_to(8)
+        assert rm.resize_cores(2) == 8
+        assert rm.executor_count == 8
+        assert rm.executor_cores == 2
+        assert all(e.cores == 2 for e in rm.executors)
+
+    def test_resize_with_target_rescales(self, rm):
+        rm.scale_to(4)
+        assert rm.resize_cores(1, target=12) == 12
+        assert rm.executor_count == 12
+
+    def test_same_cores_degenerates_to_scale(self, rm):
+        rm.scale_to(4)
+        before = rm.reconfigurations
+        rm.resize_cores(rm.executor_cores, target=6)
+        assert rm.executor_count == 6
+        assert rm.executor_cores == 1  # the paper-default width, unchanged
+        assert rm.reconfigurations == before + 1
+
+    def test_resize_beyond_capacity_is_atomic(self, rm):
+        rm.scale_to(8)
+        with pytest.raises(InsufficientResourcesError):
+            rm.resize_cores(4, target=30)
+        # Nothing changed: the pool survived the failed resize.
+        assert rm.executor_count == 8
+        assert rm.executor_cores == 1
+
+    def test_resize_requires_positive_cores(self, rm):
+        with pytest.raises(ValueError):
+            rm.resize_cores(0)
+
+    def test_resize_is_deterministic(self):
+        def placement(cores, target):
+            rm = ResourceManager(paper_cluster())
+            rm.scale_to(6)
+            rm.resize_cores(cores, target=target)
+            return sorted(
+                (e.node.node_id, e.cores) for e in rm.executors
+            )
+
+        assert placement(1, 10) == placement(1, 10)

@@ -36,14 +36,16 @@ class TestMultiParameterSpace:
         with pytest.raises(ValueError):
             multi_parameter_space(min_partitions=10, max_partitions=10)
 
-    def test_four_axes_rejected(self):
+    def test_five_axes_rejected(self):
+        # Four axes (the tournament's executor-cores extension) are the
+        # ceiling of the supported configuration space; five are not.
         from repro.core.bounds import Box, MinMaxScaler
 
-        scaler4 = MinMaxScaler(
-            Box([0.0] * 4, [1.0] * 4), Box([0.0] * 4, [1.0] * 4)
+        scaler5 = MinMaxScaler(
+            Box([0.0] * 5, [1.0] * 5), Box([0.0] * 5, [1.0] * 5)
         )
         with pytest.raises(ValueError):
-            theta_to_configuration([0.5] * 4, scaler4)
+            theta_to_configuration([0.5] * 5, scaler5)
 
 
 class TestPartitionsAffectSystem:
